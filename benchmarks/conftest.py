@@ -1,0 +1,31 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table/figure at a reduced scale, saves the
+rendered rows/series under ``benchmarks/results/``, and asserts the
+paper's qualitative claims (who wins, directionality, crossovers). See
+EXPERIMENTS.md for full-scale outputs and paper-vs-measured discussion.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write an ExperimentResult's rendering to results/<name>.txt."""
+
+    def _save(name, experiment_result):
+        path = results_dir / f"{name}.txt"
+        path.write_text(experiment_result.render() + "\n")
+        return path
+
+    return _save

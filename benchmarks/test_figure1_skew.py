@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 1: impact of clock skew.
+
+Paper claim (§2.1): a client with a lagging clock must wait for its clock
+to pass a leading writer's timestamp before it can update a shared
+object; if the skew epsilon greatly exceeds the device write latency t_w,
+spurious rejections appear — and faster devices suffer at smaller skews.
+"""
+
+from repro.harness import run_figure1
+
+
+def test_figure1_clock_skew_impact(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_figure1(
+            write_latencies=(0.2e-6, 100e-6),
+            skews=(0.0, 1e-6, 10e-6, 100e-6, 1e-3),
+            rounds=120),
+        rounds=1, iterations=1)
+    save_result("figure1_skew", result)
+
+    by_cell = {(round(row[0], 3), round(row[1], 3)): row[2]
+               for row in result.rows}
+    # rows: [t_w_us, eps_us, reject_rate]
+
+    # No spurious rejections when skew is far below the request cost.
+    assert by_cell[(0.2, 0.0)] == 0.0
+    assert by_cell[(100.0, 0.0)] == 0.0
+    assert by_cell[(100.0, 1.0)] == 0.0, \
+        "eps=1us << t_w=100us must be rejection-free"
+
+    # Millisecond skew (NTP-class) forces heavy rejection for both
+    # device classes.
+    assert by_cell[(0.2, 1000.0)] > 0.5
+    assert by_cell[(100.0, 1000.0)] > 0.5
+
+    # Rejection rate is monotone non-decreasing in skew for each device.
+    for t_w in (0.2, 100.0):
+        rates = [by_cell[(t_w, eps)]
+                 for eps in (0.0, 1.0, 10.0, 100.0, 1000.0)]
+        assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:])), \
+            f"rates not monotone for t_w={t_w}: {rates}"

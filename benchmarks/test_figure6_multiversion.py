@@ -1,0 +1,44 @@
+"""Benchmark regenerating Figure 6: abort rate vs clients, single- vs
+multi-version FTL.
+
+Paper claim (§5.2): with increased key contention, a multi-version FTL
+reduces abort rates because tardy read-only transactions read from a
+consistent snapshot and commit, where a single-version FTL forces them to
+abort.
+"""
+
+from repro.harness import run_figure6
+
+
+def test_figure6_multiversion_cuts_aborts(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_figure6(
+            client_counts=(2, 8, 16),
+            alphas=(0.5, 0.95),
+            num_keys=300,
+            duration=0.2,
+            warmup=0.05),
+        rounds=1, iterations=1)
+    save_result("figure6_multiversion", result)
+
+    by_cell = {(row[0], row[1], row[2]): row[3] for row in result.rows}
+    # rows: [backend, alpha, clients, abort_rate]
+
+    # Multi-version below single-version at every (alpha, clients) point.
+    for alpha in (0.5, 0.95):
+        for clients in (2, 8, 16):
+            sftl = by_cell[("sftl", alpha, clients)]
+            mftl = by_cell[("mftl", alpha, clients)]
+            assert mftl < sftl, (
+                f"mftl {mftl} !< sftl {sftl} at alpha={alpha}, "
+                f"clients={clients}")
+
+    # Abort rate rises with client count (contention) on both backends.
+    for backend in ("sftl", "mftl"):
+        rates = [by_cell[(backend, 0.95, c)] for c in (2, 8, 16)]
+        assert rates[-1] > rates[0], \
+            f"{backend} abort rate flat across client counts: {rates}"
+
+    # And rises with the contention parameter alpha.
+    for backend in ("sftl", "mftl"):
+        assert by_cell[(backend, 0.95, 16)] > by_cell[(backend, 0.5, 16)]

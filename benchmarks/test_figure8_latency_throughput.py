@@ -1,0 +1,51 @@
+"""Benchmark regenerating Figure 8: latency vs throughput with local
+validation on/off.
+
+Paper claims (§5.2): client-local validation of read-only transactions
+saves two round trips, yielding up to 55 % higher throughput and 35 %
+lower latency on the 75 %-read-only Retwis mix; MFTL modestly outperforms
+VFTL; VFTL *with* local validation beats MFTL *without* it.
+"""
+
+from repro.harness import run_figure8
+
+
+def test_figure8_local_validation_gains(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_figure8(
+            client_counts=(8, 24),
+            backends=("dram", "vftl", "mftl"),
+            local_validation=(True, False),
+            alpha=0.6,
+            num_keys=2000,
+            duration=0.2,
+            warmup=0.05),
+        rounds=1, iterations=1)
+    save_result("figure8_latency_throughput", result)
+
+    by_cell = {(row[0], row[1], row[2]): (row[3], row[4])
+               for row in result.rows}
+    # rows: [backend, mode, clients, txn/s, latency_ms]
+
+    for backend in ("dram", "vftl", "mftl"):
+        for clients in (8, 24):
+            lv_tput, lv_lat = by_cell[(backend, "LV", clients)]
+            no_tput, no_lat = by_cell[(backend, "noLV", clients)]
+            assert lv_tput > no_tput, (
+                f"LV should raise throughput for {backend}@{clients}: "
+                f"{lv_tput} vs {no_tput}")
+            assert lv_lat < no_lat, (
+                f"LV should cut latency for {backend}@{clients}: "
+                f"{lv_lat} vs {no_lat}")
+
+    # The gains are material at load (paper: +55% tput / -35% latency).
+    lv_tput, lv_lat = by_cell[("mftl", "LV", 24)]
+    no_tput, no_lat = by_cell[("mftl", "noLV", 24)]
+    assert lv_tput > no_tput * 1.15
+    assert lv_lat < no_lat * 0.90
+
+    # VFTL with local validation beats MFTL without it (paper's point
+    # about the importance of local validation).
+    vftl_lv, _ = by_cell[("vftl", "LV", 24)]
+    mftl_no, _ = by_cell[("mftl", "noLV", 24)]
+    assert vftl_lv > mftl_no

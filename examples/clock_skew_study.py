@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Clock-discipline study: how synchronization quality drives abort rates.
+
+Sweeps the clock model from perfect time through DTP-class (~150 ns),
+hardware PTP (~0.5 us), software PTP (~53 us, the paper's setup), to NTP
+(~1.5 ms), holding the workload fixed — the essence of the paper's
+Figure 7 plus the "what if clocks were even better?" extrapolation its
+introduction motivates.
+
+Run:  python examples/clock_skew_study.py
+"""
+
+from repro.clocks import mean_pairwise_skew
+from repro.harness import ClusterConfig, run_retwis_on_cluster
+
+PRESETS = ["perfect", "dtp", "ptp-hw", "ptp-sw", "ntp"]
+
+
+def main():
+    print("Abort rate vs clock discipline "
+          "(1 shard x 3 replicas, 12 clients, DRAM backend, alpha=0.8)")
+    print()
+    header = (f"{'clock':>9} {'measured skew':>14} {'abort rate':>11} "
+              f"{'txn/s':>9}")
+    print(header)
+    print("-" * len(header))
+    for preset in PRESETS:
+        config = ClusterConfig(
+            num_shards=1,
+            replicas_per_shard=3,
+            num_clients=12,
+            backend="dram",
+            clock_preset=preset,
+            populate_keys=4000,
+            seed=29,
+        )
+        result = run_retwis_on_cluster(
+            config, alpha=0.8, duration=0.25, warmup=0.05)
+        clocks = [c.clock for c in result.cluster.clients]
+        skew = mean_pairwise_skew(clocks)
+        if skew >= 1e-3:
+            skew_text = f"{skew * 1e3:.2f} ms"
+        elif skew >= 1e-6:
+            skew_text = f"{skew * 1e6:.1f} us"
+        else:
+            skew_text = f"{skew * 1e9:.0f} ns"
+        print(f"{preset:>9} {skew_text:>14} "
+              f"{result.abort_rate:>11.3f} "
+              f"{result.throughput:>9.0f}")
+    print()
+    print("Expect: abort rates flat from perfect through hardware PTP "
+          "(skew << write latency), a modest rise at software PTP, and a "
+          "clear jump at NTP — the paper's case for precision time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Reproduction of "Enabling Lightweight Transactions with Precision Time"
+(Misra, Chase, Gehrke, Lebeck — ASPLOS 2017).
+
+Two systems over simulated substrates:
+
+* **SEMEL** (:mod:`repro.semel`) — a sharded, replicated, multi-version
+  key-value store whose versions are precision-time timestamps, with
+  lightweight *inconsistent* (unordered) primary/backup replication and an
+  SDF-integrated multi-version FTL (:mod:`repro.ftl`);
+* **MILANA** (:mod:`repro.milana`) — serializable ACID transactions via
+  client-coordinated OCC + 2PC, with client-local validation of read-only
+  transactions.
+
+Substrates built from scratch: a discrete-event simulator
+(:mod:`repro.sim`), PTP/NTP clock models (:mod:`repro.clocks`), a
+functional+timing NAND flash device (:mod:`repro.flash`), four storage
+engines (:mod:`repro.ftl`), and an intra-DC network/RPC layer
+(:mod:`repro.net`). The evaluation harness (:mod:`repro.harness`)
+regenerates every table and figure of the paper's §5.
+
+Quickstart::
+
+    from repro import Cluster, ClusterConfig, COMMITTED
+
+    cluster = Cluster(ClusterConfig(num_shards=2, num_clients=2,
+                                    backend="mftl", clock_preset="ptp-sw",
+                                    populate_keys=100))
+    client = cluster.clients[0]
+
+    def transfer():
+        txn = client.begin()
+        a = yield client.txn_get(txn, "key:1")
+        client.put(txn, "key:2", a)
+        outcome = yield client.commit(txn)
+        return outcome
+
+    print(cluster.sim.run_until_event(cluster.sim.process(transfer())))
+"""
+
+from .harness.cluster import Cluster, ClusterConfig
+from .milana.client import MilanaClient, TransactionAborted
+from .milana.server import MilanaServer
+from .milana.transaction import ABORTED, COMMITTED
+from .semel.client import SemelClient
+from .semel.server import StorageServer
+from .semel.sharding import Directory
+from .sim.core import Simulator
+from .versioning import Version
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "MilanaClient",
+    "MilanaServer",
+    "SemelClient",
+    "StorageServer",
+    "Directory",
+    "Simulator",
+    "Version",
+    "COMMITTED",
+    "ABORTED",
+    "TransactionAborted",
+    "__version__",
+]

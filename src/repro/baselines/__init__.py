@@ -1,0 +1,23 @@
+"""Comparison baselines the paper evaluates against:
+
+* :class:`SingleVersionBackend` — single-version generic FTL (Figure 6);
+* :class:`CentimanClient` — watermark-based local validation (Figure 9);
+* :class:`RemoteValidationClient` — MILANA without local validation
+  (Figure 8's "w/o LV" series).
+"""
+
+from .centiman import (
+    CentimanClient,
+    DEFAULT_DISSEMINATION_EVERY,
+    WatermarkBoard,
+)
+from .remote_validation import RemoteValidationClient
+from .single_version import SingleVersionBackend
+
+__all__ = [
+    "SingleVersionBackend",
+    "CentimanClient",
+    "WatermarkBoard",
+    "DEFAULT_DISSEMINATION_EVERY",
+    "RemoteValidationClient",
+]

@@ -1,0 +1,21 @@
+"""Remote-validation-only MILANA (the "w/o LV" series of Figure 8).
+
+Identical protocol, but read-only transactions validate at the servers
+through the full 2PC prepare round instead of locally at the client —
+isolating the contribution of client-local validation to latency and
+throughput (the paper's 35 % / 55 % claims).
+"""
+
+from __future__ import annotations
+
+from ..milana.client import MilanaClient
+
+__all__ = ["RemoteValidationClient"]
+
+
+class RemoteValidationClient(MilanaClient):
+    """MILANA with client-local validation disabled."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs["local_validation"] = False
+        super().__init__(*args, **kwargs)

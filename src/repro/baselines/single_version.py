@@ -1,0 +1,29 @@
+"""Single-version FTL baseline ("SFTL" in Figures 6–7).
+
+A standard FTL keeps exactly one version per key: each put supersedes the
+previous value immediately. Snapshot reads in the past therefore fail
+whenever the key has been rewritten since the snapshot — which is exactly
+why tardy read-only transactions abort on this backend while MILANA's
+multi-version store lets them commit (Figure 6).
+
+Mechanically this is the unified FTL with version retention clamped to
+one, so the comparison isolates *multi-versioning* rather than unrelated
+engine differences.
+"""
+
+from __future__ import annotations
+
+from ..flash.device import FlashDevice
+from ..ftl.mftl import MFTLBackend
+from ..sim.core import Simulator
+
+__all__ = ["SingleVersionBackend"]
+
+
+class SingleVersionBackend(MFTLBackend):
+    """The paper's single-version generic FTL storage mode."""
+
+    def __init__(self, sim: Simulator, device: FlashDevice,
+                 **kwargs) -> None:
+        kwargs["multi_version"] = False
+        super().__init__(sim, device, **kwargs)

@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available experiments and workloads.
+``experiment <name>``
+    Regenerate one of the paper's tables/figures (``table1``,
+    ``figure1``, ``figure6`` ... ``figure9``) or an ablation, at quick or
+    full scale, printing the same rows/series the paper reports.
+``retwis``
+    Run the Retwis benchmark on a configurable cluster and print
+    throughput / abort rate / latency percentiles.
+``ycsb``
+    Run a YCSB workload (A–F) on a configurable cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .harness import (
+    ClusterConfig,
+    run_client_caching_ablation,
+    run_figure1,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_gc_window_ablation,
+    run_packing_delay_ablation,
+    run_replication_factor_ablation,
+    run_retwis_on_cluster,
+    run_table1,
+    run_watermark_interval_ablation,
+)
+from .harness.cluster import BACKEND_KINDS, Cluster
+from .harness.metrics import merged_latency_histogram
+from .workloads import YCSB_WORKLOADS, YcsbInstance
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: name -> (full-scale runner, quick-scale runner)
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (
+        lambda: run_table1(),
+        lambda: run_table1(num_keys=2000, duration=0.05, warmup=0.02,
+                           num_workers=64),
+    ),
+    "figure1": (
+        lambda: run_figure1(),
+        lambda: run_figure1(rounds=60),
+    ),
+    "figure6": (
+        lambda: run_figure6(),
+        lambda: run_figure6(client_counts=(2, 8), alphas=(0.5, 0.95),
+                            num_keys=200, duration=0.15, warmup=0.04),
+    ),
+    "figure7": (
+        lambda: run_figure7(),
+        lambda: run_figure7(alphas=(0.5, 0.8), backends=("dram", "mftl"),
+                            num_clients=10, duration=0.2, warmup=0.05),
+    ),
+    "figure8": (
+        lambda: run_figure8(),
+        lambda: run_figure8(client_counts=(8, 24),
+                            backends=("dram", "mftl"),
+                            duration=0.15, warmup=0.04),
+    ),
+    "figure9": (
+        lambda: run_figure9(),
+        lambda: run_figure9(alphas=(0.4, 0.8), num_clients=12,
+                            num_keys=4000, duration=0.2, warmup=0.05),
+    ),
+    "ablation-packing": (
+        lambda: run_packing_delay_ablation(),
+        lambda: run_packing_delay_ablation(
+            delays=(0.0, 1e-3), duration=0.04, warmup=0.01,
+            num_workers=32),
+    ),
+    "ablation-replication": (
+        lambda: run_replication_factor_ablation(),
+        lambda: run_replication_factor_ablation(
+            replica_counts=(1, 3), num_clients=4, duration=0.12,
+            warmup=0.03),
+    ),
+    "ablation-watermark": (
+        lambda: run_watermark_interval_ablation(),
+        lambda: run_watermark_interval_ablation(
+            intervals=(0.01, 0.2), num_clients=4, duration=0.15,
+            warmup=0.04),
+    ),
+    "ablation-gc-window": (
+        lambda: run_gc_window_ablation(),
+        lambda: run_gc_window_ablation(
+            windows=(0.002, 0.02), duration=0.04, warmup=0.01,
+            num_workers=32),
+    ),
+    "ablation-caching": (
+        lambda: run_client_caching_ablation(),
+        lambda: run_client_caching_ablation(
+            num_clients=4, txns_per_client=60),
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Enabling Lightweight Transactions "
+                     "with Precision Time' (ASPLOS 2017)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and workloads")
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--scale", choices=("quick", "full"),
+                     default="quick")
+    exp.add_argument("--out", help="also write the rendering to a file")
+
+    def add_cluster_arguments(command):
+        command.add_argument("--backend", choices=BACKEND_KINDS,
+                             default="mftl")
+        command.add_argument("--clock", default="ptp-sw",
+                             choices=("perfect", "dtp", "ptp-hw",
+                                      "ptp-sw", "ntp"))
+        command.add_argument("--shards", type=int, default=1)
+        command.add_argument("--replicas", type=int, default=3)
+        command.add_argument("--clients", type=int, default=8)
+        command.add_argument("--keys", type=int, default=2000)
+        command.add_argument("--duration", type=float, default=0.2,
+                             help="measured seconds of simulated time")
+        command.add_argument("--seed", type=int, default=42)
+
+    retwis = sub.add_parser("retwis", help="run the Retwis benchmark")
+    add_cluster_arguments(retwis)
+    retwis.add_argument("--alpha", type=float, default=0.6,
+                        help="Zipf contention parameter")
+    retwis.add_argument("--no-local-validation", action="store_true")
+
+    ycsb = sub.add_parser("ycsb", help="run a YCSB workload")
+    add_cluster_arguments(ycsb)
+    ycsb.add_argument("--workload", choices=sorted(YCSB_WORKLOADS),
+                      default="B")
+    ycsb.add_argument("--alpha", type=float, default=0.99)
+    return parser
+
+
+def _command_list(_args) -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("workloads:")
+    print("  retwis (Table 2 mix; --alpha sets contention)")
+    for name in sorted(YCSB_WORKLOADS):
+        mix = ", ".join(f"{op} {weight:.0f}%"
+                        for op, weight in YCSB_WORKLOADS[name])
+        print(f"  ycsb {name}: {mix}")
+    return 0
+
+
+def _command_experiment(args) -> int:
+    full, quick = EXPERIMENTS[args.name]
+    result = full() if args.scale == "full" else quick()
+    text = result.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n[written to {args.out}]")
+    return 0
+
+
+def _cluster_config(args) -> ClusterConfig:
+    return ClusterConfig(
+        num_shards=args.shards,
+        replicas_per_shard=args.replicas,
+        num_clients=args.clients,
+        backend=args.backend,
+        clock_preset=args.clock,
+        seed=args.seed,
+        populate_keys=args.keys,
+        local_validation=not getattr(args, "no_local_validation", False),
+    )
+
+
+def _print_run_summary(metrics, clients) -> None:
+    histogram = merged_latency_histogram(clients)
+    summary = histogram.summary()
+    print(f"committed txns : {metrics.committed}")
+    print(f"aborted txns   : {metrics.aborted} "
+          f"(abort rate {metrics.abort_rate:.3f})")
+    print(f"throughput     : {metrics.throughput:,.0f} txn/s")
+    print(f"latency mean   : {metrics.mean_latency * 1e3:.3f} ms")
+    print(f"latency p50    : {summary['p50'] * 1e3:.3f} ms")
+    print(f"latency p95    : {summary['p95'] * 1e3:.3f} ms")
+    print(f"latency p99    : {summary['p99'] * 1e3:.3f} ms")
+    reasons: Dict[str, int] = {}
+    for client in clients:
+        for reason, count in client.stats.abort_reasons.items():
+            category = _abort_category(reason)
+            reasons[category] = reasons.get(category, 0) + count
+    if reasons:
+        top = sorted(reasons.items(), key=lambda kv: -kv[1])[:3]
+        print("abort reasons  : " + "; ".join(
+            f"{count}x {category}" for category, count in top))
+
+
+def _abort_category(reason: str) -> str:
+    """Collapse per-key abort reasons into reportable categories."""
+    if reason.startswith("local-validation"):
+        return "local-validation conflict"
+    if "changed" in reason:
+        return "read-set changed"
+    if "prepared version" in reason:
+        return "prepared-version conflict"
+    if "read at" in reason or "committed" in reason:
+        return "write-timestamp conflict"
+    if reason.startswith("prepare failed"):
+        return "prepare RPC failed"
+    if "snapshot" in reason:
+        return "snapshot miss"
+    return reason[:40]
+
+
+def _command_retwis(args) -> int:
+    result = run_retwis_on_cluster(
+        _cluster_config(args), alpha=args.alpha,
+        duration=args.duration, warmup=args.duration / 4)
+    print(f"Retwis on {args.backend} x {args.shards} shard(s) x "
+          f"{args.replicas} replica(s), {args.clients} clients, "
+          f"clock={args.clock}, alpha={args.alpha}")
+    _print_run_summary(result.metrics, result.cluster.clients)
+    return 0
+
+
+def _command_ycsb(args) -> int:
+    cluster = Cluster(_cluster_config(args))
+    instances = [
+        YcsbInstance(cluster.sim, client, cluster.populated_keys,
+                     cluster.rng.substream(f"ycsb{client.client_id}"),
+                     workload=args.workload, alpha=args.alpha)
+        for client in cluster.clients
+    ]
+    procs = [instance.run(args.duration) for instance in instances]
+    for proc in procs:
+        cluster.sim.run_until_event(proc)
+    operations = sum(i.stats.operations for i in instances)
+    committed = sum(i.stats.committed for i in instances)
+    aborted = sum(i.stats.aborted for i in instances)
+    decided = committed + aborted
+    histogram = merged_latency_histogram(cluster.clients)
+    summary = histogram.summary()
+    print(f"YCSB-{args.workload} on {args.backend}, {args.clients} "
+          f"clients, alpha={args.alpha}")
+    print(f"operations     : {operations}")
+    print(f"throughput     : {operations / args.duration:,.0f} ops/s")
+    print(f"abort rate     : {aborted / decided if decided else 0:.3f}")
+    print(f"latency p50    : {summary['p50'] * 1e3:.3f} ms")
+    print(f"latency p99    : {summary['p99'] * 1e3:.3f} ms")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers: Dict[str, Callable] = {
+        "list": _command_list,
+        "experiment": _command_experiment,
+        "retwis": _command_retwis,
+        "ycsb": _command_ycsb,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Clock model interface.
+
+A clock maps *true* simulated time (``Simulator.now``) to the node's local
+view of wall-clock time. The gap between two nodes' readings at the same
+instant is their mutual *skew*; the paper's central observation is that OCC
+abort rates track skew relative to device write latency, so the clock model
+is the knob the PTP/NTP experiments turn.
+
+All clocks in this package are **monotonic**: consecutive ``now()`` calls on
+the same clock never go backwards, matching the paper's assumption
+("Since NTP/PTP clocks are monotonic, no client issues a new operation with
+a timestamp below the watermark").
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["Clock", "MONOTONIC_STEP"]
+
+#: Minimum increment applied when a raw reading would move backwards.
+#: 1 ns, well below every latency constant in the system.
+MONOTONIC_STEP = 1e-9
+
+
+class Clock(abc.ABC):
+    """Maps true simulated time to a node's local timestamp."""
+
+    def __init__(self, sim: "Simulator", name: str = "clock") -> None:  # noqa: F821
+        self.sim = sim
+        self.name = name
+        self._last_reading = float("-inf")
+
+    @abc.abstractmethod
+    def _raw_now(self) -> float:
+        """The uncorrected local time for the current instant."""
+
+    def now(self) -> float:
+        """Monotonic local timestamp for the current instant."""
+        raw = self._raw_now()
+        if raw <= self._last_reading:
+            raw = self._last_reading + MONOTONIC_STEP
+        self._last_reading = raw
+        return raw
+
+    def offset(self) -> float:
+        """Signed error versus true time (positive = clock runs ahead).
+
+        Diagnostic only: real nodes cannot observe this, but experiments use
+        it to report measured skew the way the paper reports PTP/NTP skew.
+        """
+        return self._raw_now() - self.sim.now
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

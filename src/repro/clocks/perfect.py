@@ -1,0 +1,22 @@
+"""A perfectly synchronized clock (zero skew).
+
+Used for single-node experiments (the paper eliminates clock skew in the
+Figure 6 setup by running everything on one VM) and as the ground-truth
+reference when measuring other clocks' skew.
+"""
+
+from __future__ import annotations
+
+from .base import Clock
+
+__all__ = ["PerfectClock"]
+
+
+class PerfectClock(Clock):
+    """Returns true simulated time exactly."""
+
+    def __init__(self, sim: "Simulator", name: str = "perfect-clock") -> None:  # noqa: F821
+        super().__init__(sim, name=name)
+
+    def _raw_now(self) -> float:
+        return self.sim.now

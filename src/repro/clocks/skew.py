@@ -1,0 +1,103 @@
+"""Skew measurement utilities and clock-ensemble construction.
+
+Experiments need two things beyond individual clocks: a way to build one
+clock per node from a single configuration ("all clients run NTP"), and a
+way to report the realized skew the way the paper does (mean pairwise
+offset among clients).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, List, Sequence
+
+from ..sim.rng import SeededRng
+from .base import Clock
+from .ntp import NTPClock
+from .perfect import PerfectClock
+from .ptp import (
+    PTP_DTP_MEAN_SKEW,
+    PTP_HARDWARE_MEAN_SKEW,
+    PTP_SOFTWARE_MEAN_SKEW,
+    PTPClock,
+)
+
+__all__ = [
+    "CLOCK_PRESETS",
+    "make_clock",
+    "ClockEnsemble",
+    "mean_pairwise_skew",
+    "max_pairwise_skew",
+]
+
+#: Named presets accepted everywhere a clock source is configured.
+CLOCK_PRESETS: Dict[str, dict] = {
+    "perfect": {},
+    "ptp-sw": {"mean_pairwise_skew": PTP_SOFTWARE_MEAN_SKEW},
+    "ptp-hw": {"mean_pairwise_skew": PTP_HARDWARE_MEAN_SKEW},
+    "dtp": {"mean_pairwise_skew": PTP_DTP_MEAN_SKEW},
+    "ntp": {},
+}
+
+
+def make_clock(preset: str, sim, rng: SeededRng, name: str) -> Clock:
+    """Build one clock from a preset name.
+
+    Presets: ``perfect``, ``ptp-sw``, ``ptp-hw``, ``dtp``, ``ntp``.
+    """
+    if preset == "perfect":
+        return PerfectClock(sim, name=name)
+    if preset in ("ptp-sw", "ptp-hw", "dtp"):
+        skew = CLOCK_PRESETS[preset]["mean_pairwise_skew"]
+        return PTPClock(sim, rng, mean_pairwise_skew=skew, name=name)
+    if preset == "ntp":
+        return NTPClock(sim, rng, name=name)
+    raise ValueError(
+        f"unknown clock preset {preset!r}; expected one of "
+        f"{sorted(CLOCK_PRESETS)}")
+
+
+class ClockEnsemble:
+    """One clock per named node, all built from the same preset.
+
+    Each node's clock draws from its own RNG substream, so the set of skews
+    is stable under adding/removing other nodes.
+    """
+
+    def __init__(self, sim, rng: SeededRng, preset: str = "perfect") -> None:
+        self.sim = sim
+        self.rng = rng
+        self.preset = preset
+        self._clocks: Dict[str, Clock] = {}
+
+    def clock_for(self, node_name: str) -> Clock:
+        """The (memoized) clock for ``node_name``."""
+        if node_name not in self._clocks:
+            self._clocks[node_name] = make_clock(
+                self.preset,
+                self.sim,
+                self.rng.substream(f"clock/{node_name}"),
+                name=f"{self.preset}:{node_name}",
+            )
+        return self._clocks[node_name]
+
+    @property
+    def clocks(self) -> List[Clock]:
+        return list(self._clocks.values())
+
+
+def mean_pairwise_skew(clocks: Sequence[Clock]) -> float:
+    """Average |offset_i − offset_j| over all clock pairs, right now."""
+    offsets = [clock.offset() for clock in clocks]
+    pairs = list(combinations(offsets, 2))
+    if not pairs:
+        return 0.0
+    return sum(abs(a - b) for a, b in pairs) / len(pairs)
+
+
+def max_pairwise_skew(clocks: Sequence[Clock]) -> float:
+    """Worst-case |offset_i − offset_j| over all clock pairs, right now."""
+    offsets = [clock.offset() for clock in clocks]
+    if len(offsets) < 2:
+        return 0.0
+    return max(offsets) - min(offsets)

@@ -1,0 +1,37 @@
+"""Simulated NAND flash substrate.
+
+Functional + timing emulation of the paper's Open-Channel SSD: pages and
+blocks with erase-before-write semantics, channel-level parallelism, and
+the paper's latency constants (50 µs read, 100 µs write, 1 ms erase,
+queue depth 128).
+"""
+
+from .chip import BlockState, FlashChip
+from .device import FlashDevice
+from .errors import (
+    AddressError,
+    EraseError,
+    FlashError,
+    ProgramError,
+    ReadError,
+    WearOutError,
+)
+from .geometry import FlashGeometry, FlashTiming, PAPER_GEOMETRY, PAPER_TIMING
+from .stats import DeviceStats
+
+__all__ = [
+    "FlashChip",
+    "BlockState",
+    "FlashDevice",
+    "FlashGeometry",
+    "FlashTiming",
+    "PAPER_GEOMETRY",
+    "PAPER_TIMING",
+    "DeviceStats",
+    "FlashError",
+    "AddressError",
+    "ProgramError",
+    "EraseError",
+    "ReadError",
+    "WearOutError",
+]

@@ -1,0 +1,105 @@
+"""Timed SSD device: queue slots, channel parallelism, service times.
+
+The device composes the functional :class:`~repro.flash.chip.FlashChip`
+with a timing model:
+
+* a **hardware queue** of ``queue_depth`` slots (128 in the paper) bounds
+  the number of in-flight commands;
+* each block belongs to a **channel**; commands to the same channel
+  serialize, commands to different channels proceed in parallel;
+* a command occupies its channel for the geometry's service time
+  (50 µs read / 100 µs write / 1 ms erase by default).
+
+All operations return a :class:`~repro.sim.process.Process`; callers yield
+it from their own process and receive the functional result (page payload
+for reads, ``None`` otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.core import Simulator
+from ..sim.process import Process
+from ..sim.resources import Resource
+from .chip import FlashChip
+from .geometry import FlashGeometry, FlashTiming, PAPER_GEOMETRY, PAPER_TIMING
+from .stats import DeviceStats
+
+__all__ = ["FlashDevice"]
+
+
+class FlashDevice:
+    """An SSD with NAND semantics and per-channel timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: FlashGeometry = PAPER_GEOMETRY,
+        timing: FlashTiming = PAPER_TIMING,
+        queue_depth: int = 128,
+        endurance: Optional[int] = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.sim = sim
+        self.geometry = geometry
+        self.timing = timing
+        self.queue_depth = queue_depth
+        self.chip = FlashChip(geometry, endurance=endurance)
+        self.stats = DeviceStats()
+        self._queue = Resource(sim, queue_depth)
+        self._channels = [
+            Resource(sim, 1) for _ in range(geometry.num_channels)
+        ]
+
+    # -- public operations ----------------------------------------------------
+
+    def read_page(self, block: int, page: int) -> Process:
+        """Asynchronously read a page; the process value is its payload."""
+        return self.sim.process(self._execute("read", block, page=page))
+
+    def write_page(self, block: int, page: int, data: Any) -> Process:
+        """Asynchronously program a page with ``data``."""
+        return self.sim.process(
+            self._execute("write", block, page=page, data=data))
+
+    def erase_block(self, block: int) -> Process:
+        """Asynchronously erase a block."""
+        return self.sim.process(self._execute("erase", block))
+
+    # -- internals --------------------------------------------------------------
+
+    def _service_time(self, kind: str) -> float:
+        if kind == "read":
+            return self.timing.read_page
+        if kind == "write":
+            return self.timing.write_page
+        return self.timing.erase_block
+
+    def _execute(self, kind: str, block: int,
+                 page: Optional[int] = None, data: Any = None):
+        channel_index = self.geometry.channel_of(block, page or 0)
+        channel = self._channels[channel_index]
+        service_time = self._service_time(kind)
+        yield self._queue.acquire()
+        try:
+            yield channel.acquire()
+            try:
+                yield self.sim.timeout(service_time)
+                # The functional effect lands at command completion so that
+                # a concurrent reader never observes a half-finished write.
+                if kind == "read":
+                    result = self.chip.read(block, page)
+                elif kind == "write":
+                    self.chip.program(block, page, data)
+                    result = None
+                else:
+                    self.chip.erase(block)
+                    result = None
+                self.stats.record(kind, channel_index, service_time)
+            finally:
+                channel.release()
+        finally:
+            self._queue.release()
+        return result

@@ -1,0 +1,44 @@
+"""Exception types for flash semantics violations.
+
+These are raised when a client of the flash layer (an FTL) breaks NAND
+rules — programming a page twice without an erase, programming pages out of
+order within a block, or reading an unwritten page. They indicate FTL bugs,
+not simulated device faults.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FlashError",
+    "ProgramError",
+    "EraseError",
+    "ReadError",
+    "AddressError",
+    "WearOutError",
+]
+
+
+class FlashError(Exception):
+    """Base class for flash rule violations."""
+
+
+class AddressError(FlashError):
+    """Block or page index outside the device geometry."""
+
+
+class ProgramError(FlashError):
+    """Erase-before-write or sequential-program violation."""
+
+
+class EraseError(FlashError):
+    """Invalid erase request."""
+
+
+class ReadError(FlashError):
+    """Read of an unprogrammed page."""
+
+
+class WearOutError(EraseError):
+    """The block has reached its erase-endurance limit (§2.2: "each
+    block can be erased only a certain number of times before the cells
+    wear out"). FTLs respond with bad-block retirement."""

@@ -1,0 +1,79 @@
+"""Flash geometry and timing parameters.
+
+Defaults mirror the paper's emulated SSD (§5): 4 KB pages, 32 pages per
+block, 50 µs page read, 100 µs page write, 1 ms block erase, and a hardware
+queue depth of 128. Channel count is our knob for internal parallelism
+(real SSDs stripe blocks over many channels/dies; the paper's emulator
+services requests from a queue of depth 128).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FlashGeometry", "FlashTiming", "PAPER_GEOMETRY", "PAPER_TIMING"]
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Physical layout of the flash array."""
+
+    page_size: int = 4096
+    pages_per_block: int = 32
+    num_blocks: int = 1024
+    num_channels: int = 16
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError(f"page_size must be positive: {self.page_size}")
+        if self.pages_per_block <= 0:
+            raise ValueError(
+                f"pages_per_block must be positive: {self.pages_per_block}")
+        if self.num_blocks <= 0:
+            raise ValueError(f"num_blocks must be positive: {self.num_blocks}")
+        if self.num_channels <= 0:
+            raise ValueError(
+                f"num_channels must be positive: {self.num_channels}")
+        if self.num_blocks < self.num_channels:
+            raise ValueError(
+                "need at least one block per channel: "
+                f"{self.num_blocks} blocks < {self.num_channels} channels")
+
+    @property
+    def total_pages(self) -> int:
+        """Number of pages in the whole array."""
+        return self.num_blocks * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw capacity of the array in bytes."""
+        return self.total_pages * self.page_size
+
+    def channel_of(self, block: int, page: int = 0) -> int:
+        """The channel serving (block, page).
+
+        Pages are striped across channels (SSDs spread a superblock's
+        pages over dies for parallelism), so sequential data — and the
+        log-structured FTL write stream — exploits every channel even
+        when it occupies few blocks. Erases use the block's base channel.
+        """
+        return (block * self.pages_per_block + page) % self.num_channels
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Service times (seconds) for the three flash operations."""
+
+    read_page: float = 50e-6
+    write_page: float = 100e-6
+    erase_block: float = 1e-3
+
+    def __post_init__(self) -> None:
+        for field in ("read_page", "write_page", "erase_block"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be >= 0")
+
+
+#: The paper's emulator configuration (§5 Experimental Setup).
+PAPER_GEOMETRY = FlashGeometry()
+PAPER_TIMING = FlashTiming()

@@ -1,0 +1,37 @@
+"""Operation counters for the simulated flash device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["DeviceStats"]
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative device activity, used to verify GC/wear behaviour."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    block_erases: int = 0
+    busy_time: float = 0.0
+    #: Busy seconds per channel index; imbalance indicates poor striping.
+    channel_busy: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, kind: str, channel: int, service_time: float) -> None:
+        if kind == "read":
+            self.page_reads += 1
+        elif kind == "write":
+            self.page_writes += 1
+        elif kind == "erase":
+            self.block_erases += 1
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
+        self.busy_time += service_time
+        self.channel_busy[channel] = (
+            self.channel_busy.get(channel, 0.0) + service_time)
+
+    @property
+    def total_ops(self) -> int:
+        return self.page_reads + self.page_writes + self.block_erases

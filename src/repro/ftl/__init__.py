@@ -1,0 +1,52 @@
+"""Storage engines (FTLs and DRAM) behind the SEMEL server API.
+
+Four engines, matching the paper's evaluation backends:
+
+* :class:`MFTLBackend` — the unified multi-version FTL (Contribution 3);
+* :class:`VFTLBackend` — the split baseline: multi-version KV layer over a
+  generic FTL;
+* :class:`MFTLBackend` with ``multi_version=False`` — the single-version
+  "SFTL" mode of Figure 6 (see ``repro.baselines.single_version``);
+* :class:`DRAMBackend` — byte-addressable persistent memory.
+"""
+
+from .base import (
+    BackendStats,
+    BlockPins,
+    CapacityError,
+    Cpu,
+    GetResult,
+    KVBackend,
+    retained_versions,
+)
+from .dram import DRAMBackend
+from .gc import BlockAllocator
+from .mapcache import MappingCache
+from .mftl import DEFAULT_MFTL_OP_CPU, MFTLBackend
+from .packing import DEFAULT_PACKING_DELAY, PagePacker
+from .sftl import DEFAULT_FTL_OP_CPU, GenericFTL
+from .vftl import DEFAULT_KV_OP_CPU, VFTLBackend
+from .wear import DEFAULT_WEAR_THRESHOLD, StaticWearLeveler
+
+__all__ = [
+    "KVBackend",
+    "GetResult",
+    "BackendStats",
+    "BlockPins",
+    "CapacityError",
+    "Cpu",
+    "retained_versions",
+    "BlockAllocator",
+    "PagePacker",
+    "DEFAULT_PACKING_DELAY",
+    "GenericFTL",
+    "DEFAULT_FTL_OP_CPU",
+    "MFTLBackend",
+    "MappingCache",
+    "DEFAULT_MFTL_OP_CPU",
+    "VFTLBackend",
+    "DEFAULT_KV_OP_CPU",
+    "DRAMBackend",
+    "StaticWearLeveler",
+    "DEFAULT_WEAR_THRESHOLD",
+]

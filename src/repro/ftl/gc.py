@@ -1,0 +1,175 @@
+"""Log-structured block allocation and garbage-collection signalling.
+
+Both the generic page FTL (SFTL) and the unified multi-version FTL (MFTL)
+allocate pages from a single append frontier and recycle blocks through a
+background collector. This module holds the shared accounting:
+
+* pop the least-worn free block when the frontier fills (wear leveling);
+* signal the GC daemon when the free-block pool falls to a trigger level;
+* gate foreground writers when the pool is nearly exhausted, leaving the
+  remaining blocks as GC headroom (the "10 % reserved for remapping" of
+  §5.1 maps to this plus the logical capacity limit each FTL enforces).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.core import Simulator
+from ..sim.events import Event
+from ..flash.device import FlashDevice
+from .base import CapacityError
+
+__all__ = ["BlockAllocator"]
+
+
+class BlockAllocator:
+    """Append-frontier page allocation over a pool of erased blocks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: FlashDevice,
+        gc_trigger_free_blocks: Optional[int] = None,
+        writer_min_free_blocks: int = 1,
+        reclaimable=None,
+    ) -> None:
+        if gc_trigger_free_blocks is None:
+            # Engage GC with headroom proportional to the device so the
+            # collector can run ahead of sustained write bursts.
+            gc_trigger_free_blocks = max(3, device.geometry.num_blocks // 16)
+        if writer_min_free_blocks >= gc_trigger_free_blocks:
+            # GC must engage before writers stall, or nothing frees space.
+            gc_trigger_free_blocks = writer_min_free_blocks + 1
+        self.sim = sim
+        self.device = device
+        self.gc_trigger_free_blocks = gc_trigger_free_blocks
+        self.writer_min_free_blocks = writer_min_free_blocks
+        #: Optional callable answering "could GC free anything right now?";
+        #: lets a stalled writer fail fast with CapacityError instead of
+        #: waiting forever on a device that is full of live data.
+        self.reclaimable = reclaimable
+        self._free: List[int] = list(range(device.geometry.num_blocks))
+        self._active: Optional[int] = None
+        self._frontier = 0
+        self._gc_event: Optional[Event] = None
+        self._space_event: Optional[Event] = None
+        self._change_event: Optional[Event] = None
+
+    # -- pool state ----------------------------------------------------------
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def active_block(self) -> Optional[int]:
+        return self._active
+
+    def is_free(self, block: int) -> bool:
+        return block in self._free
+
+    @property
+    def under_pressure(self) -> bool:
+        return len(self._free) <= self.gc_trigger_free_blocks
+
+    @property
+    def free_pages(self) -> int:
+        """Unprogrammed pages: free blocks plus the frontier remainder."""
+        pages_per_block = self.device.geometry.pages_per_block
+        frontier_left = 0
+        if self._active is not None:
+            frontier_left = pages_per_block - self._frontier
+        return len(self._free) * pages_per_block + frontier_left
+
+    # -- allocation --------------------------------------------------------------
+
+    def allocate_page(self) -> Tuple[int, int]:
+        """Next (block, page) on the append frontier. Synchronous.
+
+        Raises :class:`CapacityError` if every block is consumed — callers
+        gate writers with :meth:`writer_gate` so this only happens when GC
+        cannot reclaim anything (device genuinely full of live data).
+        """
+        pages_per_block = self.device.geometry.pages_per_block
+        if self._active is None or self._frontier >= pages_per_block:
+            if not self._free:
+                raise CapacityError("no erased blocks available")
+            least_worn = min(self._free, key=self.device.chip.erase_count)
+            self._free.remove(least_worn)
+            self._active = least_worn
+            self._frontier = 0
+            if self.under_pressure and self._gc_event is not None:
+                event, self._gc_event = self._gc_event, None
+                event.succeed()
+        page = self._frontier
+        self._frontier += 1
+        self._fire_change()
+        return self._active, page
+
+    def release_block(self, block: int) -> None:
+        """Return an erased block to the free pool, waking stalled writers."""
+        if block in self._free:
+            raise RuntimeError(f"block {block} already free")
+        self._free.append(block)
+        if self._space_event is not None:
+            event, self._space_event = self._space_event, None
+            event.succeed()
+        self._fire_change()
+
+    def wake_writers(self) -> None:
+        """Wake gated writers without adding space (e.g. after a block
+        retirement) so they re-evaluate and can fail fast if the device
+        has reached end of life."""
+        if self._space_event is not None:
+            event, self._space_event = self._space_event, None
+            event.succeed()
+        self._fire_change()
+
+    def _fire_change(self) -> None:
+        if self._change_event is not None:
+            event, self._change_event = self._change_event, None
+            event.succeed()
+
+    def state_change(self) -> Event:
+        """Event that fires on the next allocation or block release.
+
+        The GC daemon parks on this when it is under pressure but finds no
+        reclaimable victim (everything valid), instead of spinning.
+        """
+        if self._change_event is None:
+            self._change_event = Event(self.sim)
+        return self._change_event
+
+    # -- coordination -----------------------------------------------------------
+
+    def gc_request(self) -> Event:
+        """Event the GC daemon waits on; fires when pressure is reached."""
+        if self.under_pressure:
+            event = Event(self.sim)
+            event.succeed()
+            return event
+        if self._gc_event is None:
+            self._gc_event = Event(self.sim)
+        return self._gc_event
+
+    def writer_gate(self):
+        """Generator: stall the caller while free pages are GC headroom.
+
+        The gate is page-granular: foreground writers stall once the
+        unprogrammed-page count drops to one block's worth (reserved as GC
+        remap destination), so a write that would create the very garbage
+        GC needs is still admitted while any slack remains.
+
+        Raises :class:`CapacityError` if the device is wedged: no free
+        headroom and nothing GC could reclaim.
+        """
+        headroom = (self.device.geometry.pages_per_block
+                    * self.writer_min_free_blocks)
+        while self.free_pages <= headroom:
+            if self.reclaimable is not None and not self.reclaimable():
+                raise CapacityError(
+                    "device full of live data: no reclaimable space")
+            if self._space_event is None:
+                self._space_event = Event(self.sim)
+            yield self._space_event

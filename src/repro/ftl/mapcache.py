@@ -1,0 +1,61 @@
+"""Two-level mapping with demand caching (the §3.1 / DFTL extension).
+
+The paper's MFTL assumes the entire key → physical mapping fits in server
+DRAM, and sketches a DFTL-style fallback: "retain only frequently
+accessed keys in main memory, destaging cold mappings to a bounded-size
+second-level table on flash".
+
+:class:`MappingCache` models the performance consequence without
+duplicating the mapping data structure: an LRU set of *hot* keys of
+bounded capacity. Touching a key that is not resident costs one simulated
+flash page read (fetching its translation page), after which the key is
+resident and may evict the coldest one. Correctness is unaffected — only
+latency — exactly like a real translation cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["MappingCache"]
+
+
+class MappingCache:
+    """LRU residency tracker for mapping-table entries."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._resident: "OrderedDict[str, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def touch(self, key: str) -> bool:
+        """Mark ``key`` accessed; True on hit, False on miss.
+
+        A miss makes the key resident (the caller pays the translation
+        fetch), evicting the least-recently-used key at capacity.
+        """
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._resident[key] = None
+        if len(self._resident) > self.capacity:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,50 @@
+"""Experiment harness: cluster construction, metric windows, Retwis
+runner, per-table/figure experiment drivers, and plain-text reporting."""
+
+from .ablations import (
+    run_client_caching_ablation,
+    run_gc_window_ablation,
+    run_packing_delay_ablation,
+    run_replication_factor_ablation,
+    run_watermark_interval_ablation,
+)
+from .cluster import BACKEND_KINDS, Cluster, ClusterConfig
+from .experiments import (
+    ExperimentResult,
+    run_figure1,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table1,
+)
+from .metrics import StatsSnapshot, WindowMetrics, snapshot, window_metrics
+from .report import format_table, format_value, series_block
+from .runner import RetwisRunResult, run_retwis_on_cluster
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "BACKEND_KINDS",
+    "ExperimentResult",
+    "run_table1",
+    "run_figure1",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_packing_delay_ablation",
+    "run_replication_factor_ablation",
+    "run_watermark_interval_ablation",
+    "run_gc_window_ablation",
+    "run_client_caching_ablation",
+    "StatsSnapshot",
+    "WindowMetrics",
+    "snapshot",
+    "window_metrics",
+    "format_table",
+    "format_value",
+    "series_block",
+    "RetwisRunResult",
+    "run_retwis_on_cluster",
+]

@@ -1,0 +1,137 @@
+"""Scripted and randomized failure injection.
+
+Recovery code that is only exercised by hand-built scenarios rots; a
+chaos schedule keeps it honest. Two tools:
+
+* :class:`FailurePlan` — a deterministic script of (time, action, node)
+  events: ``crash`` / ``recover`` at exact simulated instants, for
+  reproducible failure scenarios in tests and examples.
+* :class:`ChaosMonkey` — randomized rolling failures: every interval it
+  crashes a random *backup* (never reducing any shard below its majority)
+  and revives it after ``downtime``. Primaries are excluded by default
+  because automatic primary failover is the :class:`~repro.semel.master.
+  Master`'s job — enable ``include_primaries`` when one is running.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.process import Process
+from ..sim.rng import SeededRng
+from .cluster import Cluster
+
+__all__ = ["FailurePlan", "ChaosMonkey"]
+
+
+class FailurePlan:
+    """A deterministic script of crash/recover events."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._events: List[Tuple[float, str, str]] = []
+        self.executed: List[Tuple[float, str, str]] = []
+
+    def crash(self, at: float, node: str) -> "FailurePlan":
+        self._events.append((at, "crash", node))
+        return self
+
+    def recover(self, at: float, node: str) -> "FailurePlan":
+        self._events.append((at, "recover", node))
+        return self
+
+    def start(self) -> Process:
+        """Begin executing the schedule; returns the driver process."""
+        return self.cluster.sim.process(self._run())
+
+    def _run(self):
+        sim = self.cluster.sim
+        for at, action, node in sorted(self._events):
+            if at > sim.now:
+                yield sim.timeout(at - sim.now)
+            if action == "crash":
+                self.cluster.fail_server(node)
+            else:
+                self.cluster.recover_server(node)
+            self.executed.append((sim.now, action, node))
+
+
+class ChaosMonkey:
+    """Randomized rolling backup failures that never break quorums."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        rng: SeededRng,
+        interval: float = 50e-3,
+        downtime: float = 30e-3,
+        include_primaries: bool = False,
+    ) -> None:
+        if downtime >= interval:
+            raise ValueError(
+                f"downtime {downtime} must be < interval {interval} so "
+                "failures do not overlap unboundedly")
+        self.cluster = cluster
+        self.rng = rng
+        self.interval = interval
+        self.downtime = downtime
+        self.include_primaries = include_primaries
+        self.kills: List[Tuple[float, str]] = []
+        self._down: set = set()
+        self._daemon: Optional[Process] = None
+
+    def start(self) -> Process:
+        if self._daemon is None:
+            self._daemon = self.cluster.sim.process(self._loop())
+        return self._daemon
+
+    # -- victim selection ---------------------------------------------------
+
+    def _quorum_safe(self, node: str) -> bool:
+        """Would crashing ``node`` leave every shard with a majority?"""
+        directory = self.cluster.directory
+        for shard_name in directory.shard_names:
+            shard = directory.shard(shard_name)
+            if node not in shard.replicas:
+                continue
+            alive = [
+                replica for replica in shard.replicas
+                if replica != node and replica not in self._down
+                and not self.cluster.network.is_crashed(replica)
+            ]
+            if len(alive) < shard.fault_tolerance + 1:
+                return False
+        return True
+
+    def _candidates(self) -> Sequence[str]:
+        directory = self.cluster.directory
+        primaries = set(directory.all_primaries())
+        nodes = []
+        for node in directory.all_servers():
+            if node in self._down:
+                continue
+            if not self.include_primaries and node in primaries:
+                continue
+            if self._quorum_safe(node):
+                nodes.append(node)
+        return nodes
+
+    # -- the loop -------------------------------------------------------------
+
+    def _loop(self):
+        sim = self.cluster.sim
+        while True:
+            yield sim.timeout(self.interval)
+            candidates = self._candidates()
+            if not candidates:
+                continue
+            victim = self.rng.choice(list(candidates))
+            self._down.add(victim)
+            self.cluster.fail_server(victim)
+            self.kills.append((sim.now, victim))
+            sim.process(self._revive(victim))
+
+    def _revive(self, node: str):
+        yield self.cluster.sim.timeout(self.downtime)
+        self.cluster.recover_server(node)
+        self._down.discard(node)

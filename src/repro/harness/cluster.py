@@ -1,0 +1,238 @@
+"""Cluster construction: wire simulator, clocks, network, servers, clients.
+
+A :class:`Cluster` materializes one experiment deployment from a
+:class:`ClusterConfig` — the analogue of the paper's ExoGENI slice:
+N shards × R replicas of MILANA/SEMEL servers over a chosen storage
+backend, plus M clients with a chosen clock discipline, all on a shared
+latency-modelled network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..clocks import ClockEnsemble
+from ..flash.device import FlashDevice
+from ..flash.geometry import FlashGeometry, FlashTiming
+from ..ftl import DRAMBackend, MFTLBackend, VFTLBackend
+from ..ftl.packing import DEFAULT_PACKING_DELAY
+from ..milana.client import MilanaClient
+from ..milana.server import MilanaServer
+from ..net.latency import JitteredLatency, LatencyModel
+from ..net.network import Network
+from ..semel.sharding import Directory
+from ..sim.core import Simulator
+from ..sim.rng import SeededRng
+from ..versioning import Version
+
+__all__ = ["ClusterConfig", "Cluster", "BACKEND_KINDS"]
+
+BACKEND_KINDS = ("dram", "mftl", "vftl", "sftl")
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to stand up one deployment."""
+
+    num_shards: int = 1
+    replicas_per_shard: int = 3
+    num_clients: int = 4
+    backend: str = "mftl"
+    clock_preset: str = "perfect"
+    seed: int = 42
+    local_validation: bool = True
+    network_base_latency: float = 50e-6
+    network_jitter_fraction: float = 0.2
+    packing_delay: float = DEFAULT_PACKING_DELAY
+    #: Flash geometry per storage server; None picks one sized for
+    #: ``populate_keys`` (about 3x the live data set).
+    geometry: Optional[FlashGeometry] = None
+    timing: FlashTiming = field(default_factory=FlashTiming)
+    #: Keys pre-loaded into the store before the run.
+    populate_keys: int = 0
+    value_size_hint: int = 400
+    ctp_timeout: Optional[float] = None  # None disables the CTP daemon
+    #: Optional callable (sim, network, directory, clock, client_id,
+    #: local_validation) -> MilanaClient, for baseline client variants
+    #: (Centiman, remote-validation-only).
+    client_factory: Optional[Callable] = None
+    #: Run an active master with heartbeat failure detection and
+    #: automatic primary failover (§3's global master).
+    with_master: bool = False
+    #: Place each shard's replicas in distinct racks and use rack-aware
+    #: latencies (intra-rack ~20 us, cross-rack ~80 us one way) instead
+    #: of the flat latency model.
+    rack_aware: bool = False
+    num_racks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"backend must be one of {BACKEND_KINDS}, got "
+                f"{self.backend!r}")
+        if self.num_shards < 1 or self.replicas_per_shard < 1:
+            raise ValueError("need at least one shard and one replica")
+
+
+def _sized_geometry(keys_per_shard: int) -> FlashGeometry:
+    """Geometry giving ~6x headroom over the live data set.
+
+    Sizing keeps GC active (like the paper's 15-minute runs) without
+    letting the device wedge: until every client has reported a
+    watermark, *all* versions are retained (the GC lower bound is
+    unknown), so the early-run version build-up needs generous slack —
+    especially for VFTL, whose double reserve leaves it only 81 % of raw
+    capacity.
+    """
+    records_per_page = 4096 // 512
+    live_pages = max(1, math.ceil(keys_per_shard / records_per_page))
+    num_blocks = max(32, math.ceil(live_pages * 6 / 32))
+    return FlashGeometry(page_size=4096, pages_per_block=32,
+                         num_blocks=num_blocks, num_channels=16)
+
+
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = SeededRng(config.seed)
+        self.network = Network(
+            self.sim, self.rng,
+            latency=JitteredLatency(
+                base=config.network_base_latency,
+                jitter_fraction=config.network_jitter_fraction)
+            if config.network_jitter_fraction > 0
+            else JitteredLatency(base=config.network_base_latency,
+                                 jitter_fraction=0.0))
+        self.clock_ensemble = ClockEnsemble(
+            self.sim, self.rng, preset=config.clock_preset)
+        shards = {
+            f"shard{s}": [f"srv-{s}-{r}"
+                          for r in range(config.replicas_per_shard)]
+            for s in range(config.num_shards)
+        }
+        self.directory = Directory(shards)
+        self.topology = None
+        if config.rack_aware:
+            from ..net.topology import (RackTopology,
+                                        spread_replicas_across_racks)
+            racks = spread_replicas_across_racks(
+                self.directory, num_racks=config.num_racks)
+            self.topology = RackTopology(racks)
+            # Clients sit spread across the same racks.
+            for i in range(config.num_clients):
+                self.topology.assign(f"milana-client-{i + 1}",
+                                     f"rack{i % config.num_racks}")
+            self.network.topology = self.topology
+        self.servers: Dict[str, MilanaServer] = {}
+        self.devices: Dict[str, FlashDevice] = {}
+        keys_per_shard = (config.populate_keys // config.num_shards
+                          if config.num_shards else 0)
+        for shard_name, replica_names in shards.items():
+            for server_name in replica_names:
+                backend = self._make_backend(server_name, keys_per_shard)
+                self.servers[server_name] = MilanaServer(
+                    self.sim, self.network, self.directory, server_name,
+                    shard_name, backend, ctp_timeout=config.ctp_timeout)
+        factory = config.client_factory or self._default_client_factory
+        self.clients: List[MilanaClient] = [
+            factory(self.sim, self.network, self.directory,
+                    self.clock_ensemble.clock_for(f"client-{i}"),
+                    i + 1, config.local_validation)
+            for i in range(config.num_clients)
+        ]
+        self.master = None
+        self.heartbeats = []
+        if config.with_master:
+            from ..semel.master import HeartbeatReporter, Master
+            self.master = Master(self.sim, self.network, self.directory,
+                                 self.servers)
+            self.master.start()
+            for server in self.servers.values():
+                reporter = HeartbeatReporter(server)
+                reporter.start()
+                self.heartbeats.append(reporter)
+        self.populated_keys: List[str] = []
+        if config.populate_keys:
+            self.populate(config.populate_keys)
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def _default_client_factory(sim, network, directory, clock, client_id,
+                                local_validation):
+        return MilanaClient(sim, network, directory, clock,
+                            client_id=client_id,
+                            local_validation=local_validation)
+
+    def _make_backend(self, server_name: str, keys_per_shard: int):
+        kind = self.config.backend
+        if kind == "dram":
+            return DRAMBackend(self.sim)
+        geometry = self.config.geometry or _sized_geometry(keys_per_shard)
+        device = FlashDevice(self.sim, geometry, self.config.timing)
+        self.devices[server_name] = device
+        if kind == "mftl":
+            return MFTLBackend(self.sim, device,
+                               packing_delay=self.config.packing_delay)
+        if kind == "sftl":
+            return MFTLBackend(self.sim, device,
+                               packing_delay=self.config.packing_delay,
+                               multi_version=False)
+        return VFTLBackend(self.sim, device,
+                           packing_delay=self.config.packing_delay)
+
+    # -- population -----------------------------------------------------------------
+
+    def populate(self, num_keys: int,
+                 value_fn: Optional[Callable[[str], Any]] = None) -> List[str]:
+        """Pre-load ``num_keys`` keys into every replica's backend."""
+        if value_fn is None:
+            def value_fn(key):
+                return f"value-of-{key}"
+        keys = [f"key:{i}" for i in range(num_keys)]
+        # Stamp initial data far in the past so any client snapshot —
+        # including one from a clock with a negative offset — can read it.
+        version = Version(-1e6, 0)
+        per_server: Dict[str, list] = {name: [] for name in self.servers}
+        for key in keys:
+            shard = self.directory.shard_of(key)
+            item = (key, value_fn(key), version)
+            for replica in shard.replicas:
+                per_server[replica].append(item)
+        for server_name, items in per_server.items():
+            self.servers[server_name].backend.bulk_load(items)
+        self.populated_keys = keys
+        return keys
+
+    # -- failure injection ------------------------------------------------------------
+
+    def fail_server(self, name: str) -> None:
+        """Fail-stop a server at the network level."""
+        self.network.crash(name)
+
+    def recover_server(self, name: str) -> None:
+        self.network.recover(name)
+
+    def primary_server(self, shard_name: str) -> MilanaServer:
+        return self.servers[self.directory.shard(shard_name).primary]
+
+    # -- aggregate stats ---------------------------------------------------------------
+
+    def total_stats(self) -> Dict[str, float]:
+        started = sum(c.stats.started for c in self.clients)
+        committed = sum(c.stats.committed for c in self.clients)
+        aborted = sum(c.stats.aborted for c in self.clients)
+        latency = sum(c.stats.latency_total for c in self.clients)
+        decided = committed + aborted
+        return {
+            "started": started,
+            "committed": committed,
+            "aborted": aborted,
+            "abort_rate": aborted / decided if decided else 0.0,
+            "mean_latency": latency / decided if decided else 0.0,
+        }

@@ -1,0 +1,439 @@
+"""Experiment drivers: one function per table/figure in the paper (§5).
+
+Every driver returns an :class:`ExperimentResult` whose ``render()``
+produces the same rows/series the paper reports. Scale parameters default
+to values that finish in seconds-to-minutes of wall clock; the paper's
+full scale (millions of keys, 15-minute runs) is reachable by raising
+them, but the *shapes* — who wins, by what factor, where the crossovers
+fall — are what the reproduction validates (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.centiman import CentimanClient, WatermarkBoard
+from ..clocks.perfect import PerfectClock
+from ..flash.device import FlashDevice
+from ..flash.geometry import FlashGeometry
+from ..ftl.dram import DRAMBackend
+from ..ftl.mftl import MFTLBackend
+from ..ftl.vftl import VFTLBackend
+from ..semel.client import SemelClient
+from ..semel.server import StorageServer
+from ..semel.sharding import Directory
+from ..net.latency import FixedLatency
+from ..net.network import Network
+from ..net.rpc import AppError
+from ..sim.core import Simulator
+from ..sim.rng import SeededRng
+from ..workloads.microbench import run_kv_microbench
+from ..workloads.retwis import RETWIS_MIX_75_READONLY
+from .cluster import ClusterConfig
+from .report import format_table, series_block
+from .runner import run_retwis_on_cluster
+
+__all__ = [
+    "ExperimentResult",
+    "run_table1",
+    "run_figure1",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result container for tables and figures."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[Any]]
+    #: Figure series: name -> (xs, ys); rendered alongside the table.
+    series: Dict[str, Tuple[list, list]] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows, title=self.name)]
+        for series_name, (xs, ys) in self.series.items():
+            parts.append(series_block(series_name, xs, ys))
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: single-SSD multi-version FTL performance (MFTL vs VFTL)
+# ---------------------------------------------------------------------------
+
+def _table1_geometry(num_keys: int) -> FlashGeometry:
+    """Size the device so put-heavy mixes run at high utilization.
+
+    The MFTL-vs-VFTL differences the paper reports are utilization
+    effects: with the double reserve, VFTL's effective space is 0.81 of
+    raw vs MFTL's 0.9, so at ~80 % live utilization VFTL garbage-collects
+    far more per reclaimed page. ~2.2x raw headroom over the live set
+    puts the 25-50 % GET rows in that regime while leaving the read-heavy
+    rows CPU-bound like the paper's.
+    """
+    records_per_page = 8
+    live_pages = max(1, num_keys // records_per_page)
+    num_blocks = max(40, (live_pages * 30) // (10 * 32))
+    return FlashGeometry(page_size=4096, pages_per_block=32,
+                         num_blocks=num_blocks, num_channels=32)
+
+
+def run_table1(
+    num_keys: int = 4000,
+    duration: float = 0.12,
+    warmup: float = 0.04,
+    num_workers: int = 128,
+    get_percents: Sequence[float] = (100, 75, 50, 25),
+    seed: int = 7,
+) -> ExperimentResult:
+    """Table 1: throughput (kreq/s) and GET/PUT latency, VFTL vs MFTL.
+
+    A single emulated SSD per §5.1: pre-populated store, closed-loop
+    workers bounded by the hardware queue depth, GC active via a
+    watermark window.
+    """
+    cells: Dict[Tuple[str, float], Any] = {}
+    for kind in ("vftl", "mftl"):
+        for get_percent in get_percents:
+            sim = Simulator()
+            geometry = _table1_geometry(num_keys)
+            device = FlashDevice(sim, geometry)
+            if kind == "mftl":
+                backend = MFTLBackend(sim, device)
+            else:
+                backend = VFTLBackend(sim, device)
+            result = run_kv_microbench(
+                sim, backend, SeededRng(seed).substream(f"{kind}")
+                .substream(f"g{get_percent}"),
+                num_keys=num_keys, get_percent=get_percent,
+                duration=duration, warmup=warmup,
+                num_workers=num_workers, version_window=0.005)
+            cells[(kind, get_percent)] = (
+                result, backend.write_amplification)
+
+    rows = []
+    for get_percent in get_percents:
+        vftl, vftl_wa = cells[("vftl", get_percent)]
+        mftl, mftl_wa = cells[("mftl", get_percent)]
+        rows.append([
+            get_percent,
+            vftl.throughput / 1e3, mftl.throughput / 1e3,
+            vftl.mean_get_latency * 1e6, mftl.mean_get_latency * 1e6,
+            vftl.mean_put_latency * 1e6, mftl.mean_put_latency * 1e6,
+            vftl_wa, mftl_wa,
+        ])
+    return ExperimentResult(
+        name="Table 1: Single SSD Multi-version FTL Performance",
+        headers=["Get%", "VFTL kreq/s", "MFTL kreq/s",
+                 "VFTL get us", "MFTL get us",
+                 "VFTL put us", "MFTL put us",
+                 "VFTL WA", "MFTL WA"],
+        rows=rows,
+        notes=("Paper shape: MFTL wins throughput at >=50% GET "
+               "(up to +45%), much lower GET latency (up to 7x); VFTL "
+               "wins at 25% GET via lower packing delay."),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: impact of clock skew on a shared-object update
+# ---------------------------------------------------------------------------
+
+class _OffsetClock(PerfectClock):
+    """A clock with a constant offset from true time."""
+
+    def __init__(self, sim, offset: float, name: str = "offset-clock"):
+        super().__init__(sim, name=name)
+        self._offset = offset
+
+    def _raw_now(self) -> float:
+        return self.sim.now + self._offset
+
+
+def run_figure1(
+    write_latencies: Sequence[float] = (0.2e-6, 100e-6),
+    skews: Sequence[float] = (0.0, 1e-6, 10e-6, 100e-6, 1e-3),
+    rounds: int = 150,
+    seed: int = 3,
+) -> ExperimentResult:
+    """Figure 1: spurious rejections of a lagging client vs clock skew.
+
+    Two clients alternately update one shared object through a SEMEL
+    server; the lagging client's writes are rejected (stale timestamp)
+    until its clock passes the leader's last stamp — wasted time ~ max(0,
+    epsilon - t_w) per update, so skews above the write latency hurt and
+    skews below it are free.
+    """
+    rows = []
+    series: Dict[str, Tuple[list, list]] = {}
+    for t_w in write_latencies:
+        xs, ys = [], []
+        for epsilon in skews:
+            sim = Simulator()
+            rng = SeededRng(seed)
+            network = Network(sim, rng, latency=FixedLatency(5e-6))
+            directory = Directory({"shard0": ["srv"]})
+            StorageServer(sim, network, directory, "srv", "shard0",
+                          DRAMBackend(sim, write_latency=t_w, op_cpu=0.0))
+            leader = SemelClient(
+                sim, network, directory,
+                _OffsetClock(sim, +epsilon / 2), client_id=1)
+            laggard = SemelClient(
+                sim, network, directory,
+                _OffsetClock(sim, -epsilon / 2), client_id=2)
+            rejections = 0
+            attempts = 0
+
+            def duel():
+                nonlocal rejections, attempts
+                for _ in range(rounds):
+                    yield leader.put("shared", "from-leader")
+                    while True:
+                        attempts += 1
+                        try:
+                            yield laggard.put("shared", "from-laggard")
+                            break
+                        except AppError:
+                            rejections += 1
+                            yield sim.timeout(max(t_w, 1e-6))
+
+            sim.run_until_event(sim.process(duel()))
+            reject_rate = rejections / attempts if attempts else 0.0
+            rows.append([t_w * 1e6, epsilon * 1e6, reject_rate])
+            xs.append(epsilon * 1e6)
+            ys.append(reject_rate)
+        series[f"t_w={t_w * 1e6:.1f}us"] = (xs, ys)
+    return ExperimentResult(
+        name="Figure 1: Impact of Clock Skew",
+        headers=["t_w (us)", "skew eps (us)", "reject rate"],
+        rows=rows,
+        series=series,
+        notes=("Paper shape: rejections appear once eps >> t_w; fast "
+               "(DRAM-class) devices suffer at far smaller skews than "
+               "flash."),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: abort rate vs number of clients, single- vs multi-version FTL
+# ---------------------------------------------------------------------------
+
+def run_figure6(
+    client_counts: Sequence[int] = (2, 4, 8, 12, 16),
+    alphas: Sequence[float] = (0.5, 0.75, 0.95),
+    num_keys: int = 400,
+    duration: float = 0.4,
+    warmup: float = 0.1,
+    seed: int = 11,
+) -> ExperimentResult:
+    """Figure 6: multi-versioning cuts abort rates under contention.
+
+    Single storage node, no clock skew (all clients share the one VM's
+    clock in the paper), Retwis Table-2 mix, single- vs multi-version
+    FTL.
+    """
+    rows = []
+    series: Dict[str, Tuple[list, list]] = {}
+    for backend in ("sftl", "mftl"):
+        for alpha in alphas:
+            xs, ys = [], []
+            for num_clients in client_counts:
+                config = ClusterConfig(
+                    num_shards=1, replicas_per_shard=1,
+                    num_clients=num_clients, backend=backend,
+                    clock_preset="perfect", seed=seed,
+                    populate_keys=num_keys,
+                    network_base_latency=20e-6)
+                result = run_retwis_on_cluster(
+                    config, alpha=alpha, duration=duration, warmup=warmup)
+                rows.append([backend, alpha, num_clients,
+                             result.abort_rate])
+                xs.append(num_clients)
+                ys.append(result.abort_rate)
+            series[f"{backend} a={alpha}"] = (xs, ys)
+    return ExperimentResult(
+        name="Figure 6: Transaction abort rate vs number of clients",
+        headers=["backend", "alpha", "clients", "abort rate"],
+        rows=rows,
+        series=series,
+        notes=("Paper shape: abort rate grows with clients and "
+               "contention; the multi-version FTL (mftl) stays well below "
+               "the single-version FTL (sftl) because tardy read-only "
+               "transactions read a snapshot instead of aborting."),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: PTP vs NTP abort rates across storage backends
+# ---------------------------------------------------------------------------
+
+def run_figure7(
+    alphas: Sequence[float] = (0.4, 0.5, 0.6, 0.7, 0.8),
+    clock_presets: Sequence[str] = ("ptp-sw", "ntp"),
+    backends: Sequence[str] = ("dram", "vftl", "mftl"),
+    num_clients: int = 20,
+    num_keys: int = 1000,
+    duration: float = 0.4,
+    warmup: float = 0.1,
+    seed: int = 13,
+) -> ExperimentResult:
+    """Figure 7: MILANA abort rates, PTP vs NTP x {DRAM, VFTL, MFTL}.
+
+    1 primary + 2 backups, 20 Retwis instances retrying aborted
+    transactions immediately with the same keys (§5.2).
+    """
+    rows = []
+    series: Dict[str, Tuple[list, list]] = {}
+    for clock_preset in clock_presets:
+        for backend in backends:
+            xs, ys = [], []
+            for alpha in alphas:
+                config = ClusterConfig(
+                    num_shards=1, replicas_per_shard=3,
+                    num_clients=num_clients, backend=backend,
+                    clock_preset=clock_preset, seed=seed,
+                    populate_keys=num_keys)
+                result = run_retwis_on_cluster(
+                    config, alpha=alpha, duration=duration, warmup=warmup)
+                rows.append([clock_preset, backend, alpha,
+                             result.abort_rate])
+                xs.append(alpha)
+                ys.append(result.abort_rate)
+            series[f"{clock_preset}/{backend}"] = (xs, ys)
+    return ExperimentResult(
+        name="Figure 7: PTP vs NTP MILANA transaction abort rates",
+        headers=["clock", "backend", "alpha", "abort rate"],
+        rows=rows,
+        series=series,
+        notes=("Paper shape: PTP below NTP everywhere (up to 43% lower "
+               "at high contention); under NTP the DRAM backend is worst "
+               "(fastest writes -> most skew-exposed), VFTL slightly "
+               "above MFTL."),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: latency vs throughput with/without local validation
+# ---------------------------------------------------------------------------
+
+def run_figure8(
+    client_counts: Sequence[int] = (4, 8, 16, 28, 40),
+    backends: Sequence[str] = ("dram", "vftl", "mftl"),
+    local_validation: Sequence[bool] = (True, False),
+    alpha: float = 0.6,
+    num_keys: int = 3000,
+    duration: float = 0.4,
+    warmup: float = 0.1,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Figure 8: Retwis latency vs throughput, 3 shards x 3 replicas,
+    75 % read-only mix, local validation on/off."""
+    rows = []
+    series: Dict[str, Tuple[list, list]] = {}
+    for backend in backends:
+        for lv in local_validation:
+            xs, ys = [], []
+            for num_clients in client_counts:
+                config = ClusterConfig(
+                    num_shards=3, replicas_per_shard=3,
+                    num_clients=num_clients, backend=backend,
+                    clock_preset="ptp-sw", seed=seed,
+                    populate_keys=num_keys, local_validation=lv)
+                result = run_retwis_on_cluster(
+                    config, alpha=alpha, duration=duration, warmup=warmup,
+                    mix=RETWIS_MIX_75_READONLY)
+                rows.append([
+                    backend, "LV" if lv else "noLV", num_clients,
+                    result.throughput,
+                    result.mean_latency * 1e3,
+                ])
+                xs.append(result.throughput)
+                ys.append(result.mean_latency * 1e3)
+            series[f"{backend}/{'LV' if lv else 'noLV'}"] = (xs, ys)
+    return ExperimentResult(
+        name="Figure 8: Retwis transaction latency vs throughput",
+        headers=["backend", "mode", "clients", "txn/s", "latency ms"],
+        rows=rows,
+        series=series,
+        notes=("Paper shape: local validation gives up to 55% higher "
+               "throughput and 35% lower latency; MFTL beats VFTL by "
+               "~15%/10%; VFTL+LV beats MFTL without LV."),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: MILANA vs Centiman local validation
+# ---------------------------------------------------------------------------
+
+def run_figure9(
+    alphas: Sequence[float] = (0.4, 0.5, 0.6, 0.7, 0.8),
+    num_clients: int = 20,
+    num_keys: int = 10000,
+    duration: float = 0.3,
+    warmup: float = 0.05,
+    dissemination_every: int = 15,
+    seed: int = 19,
+) -> ExperimentResult:
+    """Figure 9: throughput vs contention, MILANA vs Centiman-style
+    watermark local validation (3 shards, no replication, MFTL)."""
+    rows = []
+    series: Dict[str, Tuple[list, list]] = {}
+    for system in ("milana", "centiman"):
+        xs, ys = [], []
+        for alpha in alphas:
+            board = WatermarkBoard()
+
+            def factory(sim, network, directory, clock, client_id, lv,
+                        _board=board):
+                if system == "centiman":
+                    return CentimanClient(
+                        sim, network, directory, clock,
+                        client_id=client_id,
+                        watermark_board=_board,
+                        dissemination_every=dissemination_every)
+                from ..milana.client import MilanaClient
+                return MilanaClient(sim, network, directory, clock,
+                                    client_id=client_id,
+                                    local_validation=lv)
+
+            config = ClusterConfig(
+                num_shards=3, replicas_per_shard=1,
+                num_clients=num_clients, backend="mftl",
+                clock_preset="ptp-sw", seed=seed,
+                populate_keys=num_keys, client_factory=factory)
+            result = run_retwis_on_cluster(
+                config, alpha=alpha, duration=duration, warmup=warmup,
+                mix=RETWIS_MIX_75_READONLY)
+            lv_fraction = 1.0
+            if system == "centiman":
+                attempts = sum(
+                    c.local_validation_attempts
+                    for c in result.cluster.clients)
+                successes = sum(
+                    c.local_validation_successes
+                    for c in result.cluster.clients)
+                lv_fraction = successes / attempts if attempts else 0.0
+            rows.append([system, alpha, result.throughput,
+                         lv_fraction, result.abort_rate])
+            xs.append(alpha)
+            ys.append(result.throughput)
+        series[system] = (xs, ys)
+    return ExperimentResult(
+        name="Figure 9: Comparison of Local Validation Techniques",
+        headers=["system", "alpha", "txn/s", "local-val fraction",
+                 "abort rate"],
+        rows=rows,
+        series=series,
+        notes=("Paper shape: equal throughput at alpha=0.4; Centiman's "
+               "locally-validated fraction collapses (89% -> 25%) as "
+               "contention rises, costing ~20% throughput at alpha=0.8; "
+               "MILANA locally validates all read-only transactions."),
+    )

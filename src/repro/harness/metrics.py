@@ -1,0 +1,109 @@
+"""Metric collection for experiment runs.
+
+Experiments measure over a window that excludes warmup: take a
+:class:`StatsSnapshot` of all clients when the measurement starts, run,
+snapshot again, and diff. All rates are per second of **simulated** time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..histogram import LatencyHistogram
+from ..milana.client import MilanaClient
+
+__all__ = [
+    "StatsSnapshot",
+    "WindowMetrics",
+    "snapshot",
+    "window_metrics",
+    "merged_latency_histogram",
+]
+
+
+def merged_latency_histogram(clients) -> LatencyHistogram:
+    """Fold every client's transaction-latency histogram into one."""
+    merged = LatencyHistogram()
+    for client in clients:
+        merged.merge(client.stats.latency_histogram)
+    return merged
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Point-in-time sum of client counters."""
+
+    time: float
+    started: int
+    committed: int
+    aborted: int
+    latency_total: float
+    latency_committed_total: float
+    local_validations: int
+    remote_validations: int
+
+
+@dataclass(frozen=True)
+class WindowMetrics:
+    """Differences between two snapshots."""
+
+    duration: float
+    committed: int
+    aborted: int
+    mean_latency: float
+    mean_commit_latency: float
+    local_validations: int
+    remote_validations: int
+
+    @property
+    def decided(self) -> int:
+        return self.committed + self.aborted
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborted / self.decided if self.decided else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second."""
+        return self.committed / self.duration if self.duration else 0.0
+
+
+def snapshot(sim_now: float,
+             clients: Sequence[MilanaClient]) -> StatsSnapshot:
+    """Capture the aggregate client counters right now."""
+    return StatsSnapshot(
+        time=sim_now,
+        started=sum(c.stats.started for c in clients),
+        committed=sum(c.stats.committed for c in clients),
+        aborted=sum(c.stats.aborted for c in clients),
+        latency_total=sum(c.stats.latency_total for c in clients),
+        latency_committed_total=sum(
+            c.stats.latency_committed_total for c in clients),
+        local_validations=sum(c.stats.local_validations for c in clients),
+        remote_validations=sum(
+            c.stats.remote_validations for c in clients),
+    )
+
+
+def window_metrics(before: StatsSnapshot,
+                   after: StatsSnapshot) -> WindowMetrics:
+    """Metrics over the window between two snapshots."""
+    committed = after.committed - before.committed
+    aborted = after.aborted - before.aborted
+    decided = committed + aborted
+    latency = after.latency_total - before.latency_total
+    commit_latency = (after.latency_committed_total
+                      - before.latency_committed_total)
+    return WindowMetrics(
+        duration=after.time - before.time,
+        committed=committed,
+        aborted=aborted,
+        mean_latency=latency / decided if decided else 0.0,
+        mean_commit_latency=commit_latency / committed if committed else 0.0,
+        local_validations=(after.local_validations
+                           - before.local_validations),
+        remote_validations=(after.remote_validations
+                            - before.remote_validations),
+    )

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmark harness prints the same rows/series the paper reports, so a
+run's output can be eyeballed against the published tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_value", "series_block"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly rendering with sensible precision."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3g}" if abs(value) < 1 else f"{value:.2f}"
+        if abs(value) >= 1e-6:
+            return f"{value * 1e6:.1f}u"
+        return f"{value * 1e9:.1f}n"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [
+        [format_value(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    for row in rendered_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def series_block(name: str, xs: Sequence[Any], ys: Sequence[Any],
+                 x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    pairs = "  ".join(
+        f"({format_value(x)}, {format_value(y)})" for x, y in zip(xs, ys))
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"

@@ -1,0 +1,339 @@
+"""MILANA client library: OCC transactions coordinated at the client.
+
+Implements the §4.1 API — beginTransaction / get / put /
+commitTransaction / abortTransaction — with the client acting as the 2PC
+coordinator (§4.2) and, for read-only transactions, as its own validator
+(§4.3):
+
+* reads are issued at ``ts_begin`` and record the returned version plus
+  the server's prepared bit;
+* writes are buffered; reads of buffered keys hit the local cache;
+* a read-only transaction commits **locally** iff no key in its read set
+  had a prepared version at or below ``ts_begin`` — zero round trips;
+* a read-write transaction prepares at every participant shard primary,
+  commits iff all vote SUCCESS, and notifies the outcome asynchronously —
+  the client answers the application after collecting votes, without
+  waiting for the decide round.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..clocks.base import Clock
+from ..histogram import LatencyHistogram
+from ..net.network import Network
+from ..net.rpc import RpcError, RpcNode
+from ..sim.core import Simulator
+from ..sim.process import Process
+from ..semel.sharding import Directory
+from ..versioning import Version
+from .transaction import (
+    ABORTED,
+    COMMITTED,
+    ReadObservation,
+    Transaction,
+)
+
+__all__ = ["MilanaClient", "TxnStats", "TransactionAborted"]
+
+
+class TransactionAborted(Exception):
+    """Raised by ``txn_get`` when a read cannot observe a snapshot (the
+    single-version backend case) — the caller should abort and retry."""
+
+
+@dataclass
+class TxnStats:
+    """Per-client transaction outcome and latency accounting."""
+
+    started: int = 0
+    committed: int = 0
+    aborted: int = 0
+    local_validations: int = 0
+    remote_validations: int = 0
+    latency_total: float = 0.0
+    latency_committed_total: float = 0.0
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Full latency distribution of decided transactions (p50/p95/p99).
+    latency_histogram: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
+
+    @property
+    def decided(self) -> int:
+        return self.committed + self.aborted
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborted / self.decided if self.decided else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_total / self.decided if self.decided else 0.0
+
+    @property
+    def mean_commit_latency(self) -> float:
+        if not self.committed:
+            return 0.0
+        return self.latency_committed_total / self.committed
+
+    def count_abort(self, reason: str) -> None:
+        self.aborted += 1
+        self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
+
+
+class MilanaClient:
+    """One application-server client running MILANA transactions."""
+
+    _txn_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        directory: Directory,
+        clock: Clock,
+        client_id: int,
+        name: Optional[str] = None,
+        local_validation: bool = True,
+        rpc_timeout: float = 10e-3,
+        rpc_retries: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.directory = directory
+        self.clock = clock
+        self.client_id = client_id
+        self.name = name or f"milana-client-{client_id}"
+        self.node = RpcNode(sim, network, self.name)
+        self.local_validation = local_validation
+        self.rpc_timeout = rpc_timeout
+        self.rpc_retries = rpc_retries
+        self.stats = TxnStats()
+        #: Timestamp of the latest decided transaction: this client's
+        #: watermark contribution (§4.4).
+        self.last_decided_timestamp = float("-inf")
+        self._txn_start_times: Dict[str, float] = {}
+
+    # -- transaction lifecycle ------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction stamped with the client's current time."""
+        txn = Transaction(
+            txn_id=f"t{self.client_id}.{next(self._txn_counter)}",
+            client_id=self.client_id,
+            ts_begin=self.clock.now(),
+        )
+        self.stats.started += 1
+        self._txn_start_times[txn.txn_id] = self.sim.now
+        return txn
+
+    def put(self, txn: Transaction, key: str, value: Any) -> None:
+        """Buffer a write; it reaches servers only at commit."""
+        txn.writes[key] = value
+
+    def txn_get(self, txn: Transaction, key: str) -> Process:
+        """Read ``key`` at the transaction's snapshot; fires with the value
+        (or None for a missing key)."""
+        return self.sim.process(self._txn_get(txn, key))
+
+    def txn_get_many(self, txn: Transaction, keys) -> Process:
+        """Read several keys at the transaction's snapshot in parallel.
+
+        Issues the server round trips concurrently (they are independent
+        snapshot reads at ``ts_begin``), which collapses an N-key read
+        phase from N round trips to ~1. Fires with a dict
+        ``{key: value}``.
+        """
+        return self.sim.process(self._txn_get_many(txn, list(keys)))
+
+    def _txn_get_many(self, txn: Transaction, keys):
+        pending = [
+            (key, self.sim.process(self._txn_get(txn, key)))
+            for key in keys
+        ]
+        if pending:
+            outcome = self.sim.all_of([proc for _, proc in pending])
+            try:
+                yield outcome
+            except Exception:
+                # One read failed (e.g. snapshot miss): the others may
+                # still fail later; absorb their failures so the abort
+                # propagates exactly once, through this call.
+                for _, proc in pending:
+                    proc.defused = True
+                raise
+        return {key: proc.value for key, proc in pending}
+
+    def commit(self, txn: Transaction) -> Process:
+        """Run the commit protocol; fires with COMMITTED or ABORTED."""
+        return self.sim.process(self._commit(txn))
+
+    def abort(self, txn: Transaction, reason: str = "application") -> None:
+        """Discard the transaction's state and count the abort."""
+        txn.status = ABORTED
+        self._decide_locally(txn, reason=reason)
+
+    # -- reads -----------------------------------------------------------------
+
+    def _txn_get(self, txn: Transaction, key: str):
+        if key in txn.writes:
+            return txn.writes[key]
+        if key in txn.reads:
+            return txn.reads[key].value
+        primary = self.directory.primary_of(key)
+        reply = yield self.node.call(
+            primary, "milana.get",
+            {"key": key, "timestamp": txn.ts_begin},
+            timeout=self.rpc_timeout, retries=self.rpc_retries)
+        if reply.get("snapshot_miss"):
+            # The key exists but not at our snapshot (single-version
+            # store discarded it): the transaction cannot read a
+            # consistent snapshot and must abort.
+            raise TransactionAborted(
+                f"snapshot at {txn.ts_begin} unavailable for {key!r}")
+        version = Version(*reply["version"]) if reply.get("found") else None
+        observation = ReadObservation(
+            version=version,
+            prepared=reply["prepared"],
+            value=reply.get("value"),
+        )
+        txn.reads[key] = observation
+        return observation.value
+
+    # -- commit paths ----------------------------------------------------------------
+
+    def _commit(self, txn: Transaction):
+        if txn.is_read_only and self.local_validation:
+            outcome = self._commit_read_only_local(txn)
+            return outcome
+        outcome = yield from self._commit_two_phase(txn)
+        return outcome
+
+    def _commit_read_only_local(self, txn: Transaction) -> str:
+        """§4.3: commit iff the read set came from a consistent snapshot.
+
+        Every returned value was the youngest committed version at
+        ``ts_begin`` by construction; the snapshot is consistent exactly
+        when no key had a prepared (in-doubt) version at or below
+        ``ts_begin``.
+        """
+        self.stats.local_validations += 1
+        conflicted = [key for key, obs in txn.reads.items() if obs.prepared]
+        if conflicted:
+            txn.status = ABORTED
+            self._decide_locally(
+                txn, reason="local-validation: prepared version in "
+                "read set")
+            return ABORTED
+        txn.status = COMMITTED
+        self._decide_locally(txn)
+        return COMMITTED
+
+    def _commit_two_phase(self, txn: Transaction):
+        """Client-coordinated 2PC (§4.2, Figure 4)."""
+        self.stats.remote_validations += 1
+        txn.ts_commit = self.clock.now()
+        by_shard = self._group_by_shard(txn)
+        participants = sorted(by_shard)
+        votes: Dict[str, str] = {}
+        reasons: List[str] = []
+
+        calls = []
+        for shard_name in participants:
+            reads, writes = by_shard[shard_name]
+            payload = {
+                "txn_id": txn.txn_id,
+                "client_id": self.client_id,
+                "client_name": self.name,
+                "ts_commit": txn.ts_commit,
+                "reads": reads,
+                "writes": writes,
+                "participants": participants,
+                "status": "PREPARED",
+                "prepared_at": 0.0,
+            }
+            primary = self.directory.shard(shard_name).primary
+            calls.append((shard_name, self.sim.process(
+                self._prepare_one(primary, payload))))
+        for shard_name, call in calls:
+            vote, reason = yield call
+            votes[shard_name] = vote
+            if reason:
+                reasons.append(reason)
+
+        if all(vote == "SUCCESS" for vote in votes.values()):
+            outcome = COMMITTED
+        else:
+            outcome = ABORTED
+        # Report to the application first; notify participants async (§4.2).
+        for shard_name in participants:
+            primary = self.directory.shard(shard_name).primary
+            self.node.notify(primary, "milana.decide",
+                             {"txn_id": txn.txn_id, "outcome": outcome})
+        txn.status = outcome
+        if outcome == COMMITTED:
+            self._decide_locally(txn)
+        else:
+            self._decide_locally(
+                txn, reason=reasons[0] if reasons else "validation")
+        return outcome
+
+    def _prepare_one(self, primary: str, payload: Dict[str, Any]):
+        try:
+            reply = yield self.node.call(
+                primary, "milana.prepare", payload,
+                timeout=self.rpc_timeout, retries=self.rpc_retries)
+        except RpcError as exc:
+            return "ABORT", f"prepare failed at {primary}: {exc}"
+        return reply["vote"], reply.get("reason")
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    def _group_by_shard(self, txn: Transaction) -> Dict[str, Tuple[list, list]]:
+        by_shard: Dict[str, Tuple[list, list]] = {}
+        for key, version in txn.read_set:
+            shard = self.directory.shard_of(key).name
+            by_shard.setdefault(shard, ([], []))[0].append((key, version))
+        for key, value in txn.write_set:
+            shard = self.directory.shard_of(key).name
+            by_shard.setdefault(shard, ([], []))[1].append((key, value))
+        return by_shard
+
+    def _decide_locally(self, txn: Transaction,
+                        reason: Optional[str] = None) -> None:
+        started_at = self._txn_start_times.pop(txn.txn_id, self.sim.now)
+        latency = self.sim.now - started_at
+        self.stats.latency_total += latency
+        self.stats.latency_histogram.record(latency)
+        if txn.status == COMMITTED:
+            self.stats.committed += 1
+            self.stats.latency_committed_total += latency
+        else:
+            self.stats.count_abort(reason or "unknown")
+        decided_ts = txn.ts_commit if txn.ts_commit is not None \
+            else txn.ts_begin
+        self.last_decided_timestamp = max(
+            self.last_decided_timestamp, decided_ts)
+
+    # -- watermark broadcasting (§4.4) ---------------------------------------------------
+
+    def broadcast_watermark(self) -> None:
+        """Send the latest-decided timestamp to every storage server."""
+        if self.last_decided_timestamp == float("-inf"):
+            return
+        payload = {
+            "client_id": self.client_id,
+            "timestamp": self.last_decided_timestamp,
+        }
+        for server in self.directory.all_servers():
+            self.node.notify(server, "semel.watermark", payload)
+
+    def start_watermark_daemon(self, interval: float = 0.1) -> Process:
+        return self.sim.process(self._watermark_loop(interval))
+
+    def _watermark_loop(self, interval: float):
+        while True:
+            yield self.sim.timeout(interval)
+            self.broadcast_watermark()

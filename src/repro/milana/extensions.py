@@ -1,0 +1,183 @@
+"""Client-side extensions the paper leaves as future work.
+
+* :class:`CachingMilanaClient` (§4.3): "In principle, clients can choose
+  between aggressive caching and local validation: any transaction T that
+  is marked as read-write in advance may read from its cache, but then T
+  must validate remotely." The client keeps an inter-transaction cache of
+  (version, value) per key; transactions begun with
+  ``read_write_hint=True`` satisfy reads from it with zero round trips,
+  and the primary's read-set validation (Algorithm 1, lines 2–8) catches
+  any staleness at prepare time — a stale cache costs an abort, never a
+  consistency violation. Validation-failed keys are evicted so the retry
+  refetches fresh data.
+
+* :class:`NearestReplicaClient` (§4.6): "all reads in MILANA are serviced
+  by the primary but this requirement can be relaxed for read-write
+  transactions, which can read data from the nearest replica and validate
+  at the primary before commit." Hinted transactions read from a replica
+  chosen per key (spreading read load); because backups track no
+  ``latest_read`` and report no prepared bit, such transactions also
+  validate remotely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+from ..net.rpc import RpcError
+from ..sim.process import Process
+from ..versioning import Version
+from .client import MilanaClient, TransactionAborted
+from .transaction import ABORTED, ReadObservation, Transaction
+
+__all__ = ["CachingMilanaClient", "NearestReplicaClient"]
+
+
+class CachingMilanaClient(MilanaClient):
+    """MILANA with aggressive inter-transaction caching (§4.3)."""
+
+    def __init__(self, *args, cache_capacity: int = 4096,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if cache_capacity < 1:
+            raise ValueError(
+                f"cache_capacity must be >= 1, got {cache_capacity}")
+        self.cache_capacity = cache_capacity
+        #: key -> (Version, value), LRU-ordered.
+        self._cache: "OrderedDict[str, Tuple[Version, Any]]" = \
+            OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- transaction lifecycle -------------------------------------------------
+
+    def begin(self, read_write_hint: bool = False) -> Transaction:
+        txn = super().begin()
+        txn.read_write_hint = read_write_hint
+        return txn
+
+    def txn_get(self, txn: Transaction, key: str) -> Process:
+        return self.sim.process(self._cached_txn_get(txn, key))
+
+    def _cached_txn_get(self, txn: Transaction, key: str):
+        if key in txn.writes:
+            return txn.writes[key]
+        if key in txn.reads:
+            return txn.reads[key].value
+        if txn.read_write_hint:
+            cached = self._cache_lookup(key, txn.ts_begin)
+            if cached is not None:
+                version, value = cached
+                self.cache_hits += 1
+                txn.reads[key] = ReadObservation(
+                    version=version, prepared=False, value=value)
+                return value
+            self.cache_misses += 1
+        value = yield from self._txn_get(txn, key)
+        observation = txn.reads.get(key)
+        if observation is not None and observation.version is not None:
+            self._cache_insert(key, observation.version,
+                               observation.value)
+        return value
+
+    def commit(self, txn: Transaction) -> Process:
+        return self.sim.process(self._commit_with_cache(txn))
+
+    def _commit_with_cache(self, txn: Transaction):
+        if txn.read_write_hint:
+            # The cache may be stale: remote validation is mandatory.
+            outcome = yield from self._commit_two_phase(txn)
+        else:
+            outcome = yield from self._commit(txn)
+        if outcome == ABORTED:
+            # Conservatively drop everything the transaction read; the
+            # retry refetches current versions from the primaries.
+            for key in txn.reads:
+                self._cache.pop(key, None)
+        else:
+            version = Version(txn.ts_commit, self.client_id) \
+                if txn.ts_commit is not None else None
+            if version is not None:
+                for key, value in txn.writes.items():
+                    self._cache_insert(key, version, value)
+        return outcome
+
+    # -- cache internals ----------------------------------------------------------
+
+    def _cache_lookup(self, key: str,
+                      max_timestamp: float) -> Optional[Tuple]:
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        version, value = entry
+        if version.timestamp > max_timestamp:
+            # Cached data is from the future of this snapshot; a fresh
+            # server read is needed.
+            return None
+        self._cache.move_to_end(key)
+        return version, value
+
+    def _cache_insert(self, key: str, version: Version,
+                      value: Any) -> None:
+        existing = self._cache.get(key)
+        if existing is not None and existing[0] >= version:
+            return
+        self._cache[key] = (version, value)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class NearestReplicaClient(MilanaClient):
+    """MILANA reading from arbitrary replicas for hinted transactions
+    (§4.6's load-spreading relaxation)."""
+
+    def begin(self, read_write_hint: bool = False) -> Transaction:
+        txn = super().begin()
+        txn.read_write_hint = read_write_hint
+        return txn
+
+    def txn_get(self, txn: Transaction, key: str) -> Process:
+        if not txn.read_write_hint:
+            return super().txn_get(txn, key)
+        return self.sim.process(self._replica_txn_get(txn, key))
+
+    def _replica_txn_get(self, txn: Transaction, key: str):
+        if key in txn.writes:
+            return txn.writes[key]
+        if key in txn.reads:
+            return txn.reads[key].value
+        shard = self.directory.shard_of(key)
+        # "Nearest" in the simulated LAN: spread load deterministically
+        # by key so hot keys fan out across the replica set.
+        replica = shard.replicas[hash(key) % len(shard.replicas)]
+        try:
+            reply = yield self.node.call(
+                replica, "milana.get_unvalidated",
+                {"key": key, "timestamp": txn.ts_begin},
+                timeout=self.rpc_timeout, retries=self.rpc_retries)
+        except RpcError:
+            # Fall back to the primary if the chosen replica is down.
+            value = yield from self._txn_get(txn, key)
+            return value
+        if reply.get("snapshot_miss"):
+            raise TransactionAborted(
+                f"snapshot at {txn.ts_begin} unavailable for {key!r}")
+        version = Version(*reply["version"]) if reply.get("found") \
+            else None
+        txn.reads[key] = ReadObservation(
+            version=version, prepared=False, value=reply.get("value"))
+        return reply.get("value")
+
+    def commit(self, txn: Transaction) -> Process:
+        if txn.read_write_hint:
+            # Replica reads carry no prepared information: remote
+            # validation is mandatory.
+            return self.sim.process(self._commit_two_phase(txn))
+        return super().commit(txn)

@@ -1,0 +1,84 @@
+"""Read leases (§4.5).
+
+A primary may only serve gets (and thereby feed ``latest_read``) while it
+holds a lease granted by at least f backups. After failover the new
+primary waits until its local clock passes the old lease's horizon before
+serving, which closes the serializability hole left by the unreplicated
+``latest_read`` state: no read the old primary served can have a
+timestamp beyond its lease expiry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.rpc import RpcError
+from ..semel.replication import QuorumError, replicate_to_backups
+from ..sim.process import Process
+
+__all__ = ["LeaseManager", "DEFAULT_LEASE_DURATION",
+           "DEFAULT_LEASE_INTERVAL"]
+
+DEFAULT_LEASE_DURATION = 100e-3
+DEFAULT_LEASE_INTERVAL = 25e-3
+
+
+class LeaseManager:
+    """Renews a primary's read lease against its backups."""
+
+    def __init__(
+        self,
+        server,  # MilanaServer
+        duration: float = DEFAULT_LEASE_DURATION,
+        interval: float = DEFAULT_LEASE_INTERVAL,
+    ) -> None:
+        if interval >= duration:
+            raise ValueError(
+                f"renew interval {interval} must be < duration {duration}")
+        self.server = server
+        self.duration = duration
+        self.interval = interval
+        self.lease_expiry = float("-inf")
+        self.renewals = 0
+        self.renewal_failures = 0
+        self._daemon: Optional[Process] = None
+        # Attach so the server's serving check consults this lease.
+        server.lease_manager = self
+
+    @property
+    def held(self) -> bool:
+        """Whether the lease currently covers the local clock."""
+        return self.server.sim.now < self.lease_expiry
+
+    def start(self) -> Process:
+        if self._daemon is None:
+            self._daemon = self.server.sim.process(self._renew_loop())
+        return self._daemon
+
+    def renew_once(self):
+        """Generator: one renewal round; returns True on success."""
+        server = self.server
+        backups = server.backups
+        need = min(server.quorum_acks, len(backups))
+        expiry = server.sim.now + self.duration
+        if need <= 0:
+            self.lease_expiry = expiry
+            self.renewals += 1
+            return True
+        try:
+            yield from replicate_to_backups(
+                server.node, backups, "milana.renew_lease",
+                {"primary": server.name, "expiry": expiry},
+                need, timeout=server.replication_timeout)
+        except (QuorumError, RpcError):
+            self.renewal_failures += 1
+            return False
+        self.lease_expiry = expiry
+        self.renewals += 1
+        return True
+
+    def _renew_loop(self):
+        while True:
+            if self.server.is_primary:
+                yield from self.renew_once()
+            yield self.server.sim.timeout(self.interval)

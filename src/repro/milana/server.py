@@ -1,0 +1,350 @@
+"""MILANA primary/backup server: OCC validation and 2PC participation.
+
+Extends the SEMEL storage server with the transaction API of §4.1:
+
+* ``milana.get`` — snapshot read at the transaction's begin timestamp,
+  returning the version **plus the prepared bit** that makes client-local
+  validation of read-only transactions possible (§4.3); records the read
+  timestamp in ``latest_read``;
+* ``milana.prepare`` — Algorithm 1 validation; on success the record
+  enters the transaction table, the written keys are marked prepared, and
+  the prepare record is replicated (unordered) to f backups before the
+  vote returns;
+* ``milana.decide`` — commit applies the buffered writes as versions
+  stamped ``(ts_commit, client_id)``, updates ``latest_committed``, clears
+  the prepared marks, and replicates the decision; abort just clears;
+* ``milana.txn_status`` / ``milana.fetch_log`` — the query surface used by
+  the Cooperative Termination Protocol and Algorithm 2 recovery;
+* ``milana.renew_lease`` — backups grant the read lease of §4.5.
+
+A Cooperative Termination daemon watches the transaction table for
+prepared transactions whose coordinator (the client) has gone quiet and
+resolves them with the 4-rule CTP of §4.5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..ftl.base import KVBackend
+from ..net.network import Network
+from ..net.rpc import AppError, RpcError
+from ..semel.replication import replicate_to_backups
+from ..semel.server import StorageServer
+from ..semel.sharding import Directory
+from ..sim.core import Simulator
+from ..versioning import Version
+from .transaction import ABORTED, COMMITTED, PREPARED, UNKNOWN, \
+    TransactionRecord
+from .validation import KeyStateTable, validate
+
+__all__ = ["MilanaServer", "DEFAULT_CTP_TIMEOUT"]
+
+#: How long a prepared transaction may sit undecided before a participant
+#: primary assumes the client failed and runs CTP.
+DEFAULT_CTP_TIMEOUT = 50e-3
+
+
+class MilanaServer(StorageServer):
+    """A SEMEL server that also speaks the MILANA transaction protocol."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        directory: Directory,
+        name: str,
+        shard_name: str,
+        backend: KVBackend,
+        replication_timeout: float = 10e-3,
+        ctp_timeout: Optional[float] = DEFAULT_CTP_TIMEOUT,
+    ) -> None:
+        super().__init__(sim, network, directory, name, shard_name,
+                         backend, replication_timeout)
+        #: txn_id -> TransactionRecord; the §4.1 transaction table.
+        self.txn_table: Dict[str, TransactionRecord] = {}
+        self.key_states = KeyStateTable()
+        #: Set during failover: reads/prepares rejected until this time.
+        self.serving_after = float("-inf")
+        self.validation_failures = 0
+        self.ctp_resolutions = 0
+        #: Backup-granted lease expiries (by primary name), §4.5.
+        self.granted_leases: Dict[str, float] = {}
+        #: Optional LeaseManager; when attached, transactional reads are
+        #: refused while the lease is lapsed (§4.5: a primary serves gets
+        #: only under a lease from f backups).
+        self.lease_manager = None
+        self._register_milana_handlers()
+        if ctp_timeout is not None:
+            self.ctp_timeout = ctp_timeout
+            sim.process(self._ctp_daemon())
+
+    # -- registration -------------------------------------------------------
+
+    def _register_milana_handlers(self) -> None:
+        self.node.register("milana.get", self._handle_txn_get)
+        self.node.register("milana.prepare", self._handle_prepare)
+        self.node.register("milana.decide", self._handle_decide)
+        self.node.register("milana.txn_status", self._handle_txn_status)
+        self.node.register("milana.fetch_log", self._handle_fetch_log)
+        self.node.register("milana.replicate_txn",
+                           self._handle_replicate_txn)
+        self.node.register("milana.renew_lease", self._handle_renew_lease)
+        self.node.register("milana.get_unvalidated",
+                           self._handle_get_unvalidated)
+
+    def _require_serving(self) -> None:
+        self._require_primary()
+        if self.sim.now < self.serving_after:
+            raise AppError(
+                f"{self.name} recovering: serving after "
+                f"{self.serving_after:.6f}")
+        if self.lease_manager is not None and not self.lease_manager.held:
+            raise AppError(
+                f"{self.name} lease lapsed; cannot serve reads (§4.5)")
+
+    # -- lazy key-state hydration ----------------------------------------------
+
+    def _hydrate_committed(self, key: str) -> None:
+        """Infer ``latest_committed`` from stored version stamps.
+
+        Covers pre-populated data and post-failover state: §4.5 notes the
+        latest committed version "can be inferred from the version stamps
+        included with each write".
+        """
+        state = self.key_states.get(key)
+        if state.latest_committed is None:
+            versions = self.backend.versions_of(key)
+            if versions:
+                state.latest_committed = versions[0]
+
+    # -- transactional reads --------------------------------------------------------
+
+    def _handle_txn_get(self, payload: Dict[str, Any]):
+        self._require_serving()
+        key = payload["key"]
+        timestamp = payload["timestamp"]
+        self._hydrate_committed(key)
+        result = yield self.backend.get(key, max_timestamp=timestamp)
+        state = self.key_states.get(key)
+        self.key_states.observe_read(key, timestamp)
+        prepared_flag = state.prepared_at_or_before(timestamp)
+        if result is None:
+            # Distinguish "key never existed" from "snapshot unavailable":
+            # on a single-version store a key may exist only at a version
+            # newer than the snapshot — the reader must abort (Figure 6).
+            snapshot_miss = self.backend.contains(key)
+            return {"found": False, "prepared": prepared_flag,
+                    "snapshot_miss": snapshot_miss}
+        version, value = result
+        return {
+            "found": True,
+            "version": tuple(version),
+            "value": value,
+            "prepared": prepared_flag,
+        }
+
+    def _handle_get_unvalidated(self, payload: Dict[str, Any]):
+        """Snapshot read served by ANY replica (§4.6's relaxation).
+
+        Backups can serve reads for read-write transactions to spread
+        load: no ``latest_read`` is recorded and no prepared bit is
+        returned, so the transaction MUST validate remotely — the
+        primary's read-set check catches both staleness from replication
+        lag and concurrent committers.
+        """
+        key = payload["key"]
+        timestamp = payload["timestamp"]
+        result = yield self.backend.get(key, max_timestamp=timestamp)
+        if result is None:
+            snapshot_miss = self.backend.contains(key)
+            return {"found": False, "snapshot_miss": snapshot_miss}
+        version, value = result
+        return {"found": True, "version": tuple(version), "value": value}
+
+    # -- two-phase commit: prepare ------------------------------------------------------
+
+    def _handle_prepare(self, payload: Dict[str, Any]):
+        self._require_serving()
+        record = TransactionRecord.from_wire(payload)
+        existing = self.txn_table.get(record.txn_id)
+        if existing is not None:
+            # Retransmitted prepare: repeat the recorded vote.
+            vote = "SUCCESS" if existing.status in (PREPARED, COMMITTED) \
+                else "ABORT"
+            return {"vote": vote}
+        for key, _ in list(record.reads) + list(record.writes):
+            self._hydrate_committed(key)
+        result = validate(record, self.key_states)
+        if not result.ok:
+            self.validation_failures += 1
+            record.status = ABORTED
+            self.txn_table[record.txn_id] = record
+            return {"vote": "ABORT", "reason": result.reason}
+        record.status = PREPARED
+        record.prepared_at = self.sim.now
+        self.txn_table[record.txn_id] = record
+        for key, _value in record.writes:
+            self.key_states.mark_prepared(key, record.txn_id,
+                                          record.ts_commit)
+        yield from self._replicate_txn_record(record)
+        return {"vote": "SUCCESS"}
+
+    # -- two-phase commit: decide ----------------------------------------------------------
+
+    def _handle_decide(self, payload: Dict[str, Any]):
+        record = self.txn_table.get(payload["txn_id"])
+        outcome = payload["outcome"]
+        if record is None or record.status in (COMMITTED, ABORTED):
+            yield from ()
+            return {"ack": True}
+        if outcome == COMMITTED:
+            yield from self._apply_commit(record)
+        elif outcome == ABORTED:
+            self._apply_abort(record)
+            yield from self._replicate_txn_record(record)
+        else:
+            raise AppError(f"bad outcome {outcome!r}")
+        return {"ack": True}
+
+    def _apply_commit(self, record: TransactionRecord):
+        """Make a prepared transaction's writes visible, then durable.
+
+        Prepared marks clear at *visibility* (the version is readable from
+        the engine's write buffer / mapping table) rather than flash
+        durability: the decision is already majority-durable via the
+        replicated prepare records, so holding the keys blocked for the
+        full page-program (packing) time would only manufacture false
+        conflicts.
+        """
+        version = record.commit_version_of
+        visibles = []
+        puts = []
+        for key, value in record.writes:
+            visible = self.sim.event()
+            visibles.append(visible)
+            puts.append(self.backend.put(key, value, version,
+                                         visible=visible))
+        if visibles:
+            yield self.sim.all_of(visibles)
+        for key, _value in record.writes:
+            self.key_states.mark_committed(key, version)
+            self.key_states.clear_prepared(key, record.txn_id)
+        record.status = COMMITTED
+        if puts:
+            yield self.sim.all_of(puts)
+        yield from self._replicate_txn_record(record)
+
+    def _apply_abort(self, record: TransactionRecord) -> None:
+        for key, _value in record.writes:
+            self.key_states.clear_prepared(key, record.txn_id)
+        record.status = ABORTED
+
+    # -- replication of transaction records --------------------------------------------------
+
+    def _replicate_txn_record(self, record: TransactionRecord):
+        backups = self.backups
+        need = min(self.quorum_acks, len(backups))
+        if need <= 0:
+            return
+        yield from replicate_to_backups(
+            self.node, backups, "milana.replicate_txn", record.to_wire(),
+            need, timeout=self.replication_timeout)
+
+    def _handle_replicate_txn(self, payload: Dict[str, Any]):
+        """Backup side: store the record; apply writes once committed.
+
+        Records may arrive in any order (prepare after commit, commits
+        out of timestamp order) — §3.2's relaxed backup updates. Status
+        only ever moves forward (PREPARED -> COMMITTED/ABORTED).
+        """
+        record = TransactionRecord.from_wire(payload)
+        existing = self.txn_table.get(record.txn_id)
+        if existing is not None and existing.status in (COMMITTED, ABORTED):
+            yield from ()
+            return {"ack": True}
+        self.txn_table[record.txn_id] = record
+        if record.status == COMMITTED:
+            version = record.commit_version_of
+            for key, value in record.writes:
+                if version not in self.backend.versions_of(key):
+                    yield self.backend.put(key, value, version)
+        return {"ack": True}
+
+    # -- status queries (CTP / recovery) ------------------------------------------------------
+
+    def _handle_txn_status(self, payload: Dict[str, Any]):
+        record = self.txn_table.get(payload["txn_id"])
+        yield from ()
+        if record is None:
+            return {"status": UNKNOWN}
+        return {"status": record.status}
+
+    def _handle_fetch_log(self, payload: Dict[str, Any]):
+        yield from ()
+        return {"records": [record.to_wire()
+                            for record in self.txn_table.values()]}
+
+    # -- leases (§4.5) ----------------------------------------------------------------------------
+
+    def _handle_renew_lease(self, payload: Dict[str, Any]):
+        yield from ()
+        self.granted_leases[payload["primary"]] = payload["expiry"]
+        return {"granted": True}
+
+    # -- cooperative termination (§4.5, client failure) ----------------------------------------------
+
+    def _ctp_daemon(self):
+        """Resolve prepared transactions whose coordinator went silent."""
+        while True:
+            yield self.sim.timeout(self.ctp_timeout / 2)
+            if not self.is_primary:
+                continue
+            now = self.sim.now
+            stale = [
+                record for record in self.txn_table.values()
+                if record.status == PREPARED
+                and now - record.prepared_at > self.ctp_timeout
+            ]
+            for record in stale:
+                yield from self._run_ctp(record)
+
+    def _run_ctp(self, record: TransactionRecord):
+        """The four termination rules of §4.5 (client failure)."""
+        statuses = [PREPARED]  # this primary's own state
+        for shard_name in record.participants:
+            if shard_name == self.shard_name:
+                continue
+            primary = self.directory.shard(shard_name).primary
+            try:
+                reply = yield self.node.call(
+                    primary, "milana.txn_status",
+                    {"txn_id": record.txn_id},
+                    timeout=self.replication_timeout)
+            except RpcError:
+                # Unreachable participant: cannot decide yet; retry later.
+                return
+            statuses.append(reply["status"])
+        if record.status != PREPARED:
+            return  # decided while we were querying
+        if COMMITTED in statuses:
+            outcome = COMMITTED      # rule 1: someone saw the commit
+        elif ABORTED in statuses:
+            outcome = ABORTED        # rules 1/3
+        elif UNKNOWN in statuses:
+            outcome = ABORTED        # rule 2: a participant never prepared
+        else:
+            outcome = COMMITTED      # rule 4: everyone prepared
+        self.ctp_resolutions += 1
+        if outcome == COMMITTED:
+            yield from self._apply_commit(record)
+        else:
+            self._apply_abort(record)
+            yield from self._replicate_txn_record(record)
+        # Propagate the decision to the other participants.
+        for shard_name in record.participants:
+            if shard_name == self.shard_name:
+                continue
+            primary = self.directory.shard(shard_name).primary
+            self.node.notify(primary, "milana.decide",
+                             {"txn_id": record.txn_id, "outcome": outcome})

@@ -1,0 +1,135 @@
+"""Transaction data structures shared by MILANA clients and servers.
+
+A transaction executes entirely on one client (§4.1): the client assigns
+``ts_begin`` at begin and ``ts_commit`` at commit from its PTP clock,
+buffers writes locally, and tracks for every key it read the exact version
+it observed plus whether the server reported a prepared version at or
+below ``ts_begin`` (the bit local validation needs, §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..versioning import Version
+
+__all__ = [
+    "PREPARED",
+    "COMMITTED",
+    "ABORTED",
+    "UNKNOWN",
+    "ReadObservation",
+    "Transaction",
+    "TransactionRecord",
+]
+
+# Transaction states, used in the primary's transaction table, in backup
+# logs, and in recovery / CTP exchanges.
+PREPARED = "PREPARED"
+COMMITTED = "COMMITTED"
+ABORTED = "ABORTED"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass(frozen=True)
+class ReadObservation:
+    """What the client learned when it read a key."""
+
+    #: The version returned, or None when no version <= ts_begin existed.
+    version: Optional[Version]
+    #: True if the server had a prepared version with ts <= ts_begin.
+    prepared: bool
+    value: Any = None
+
+
+@dataclass
+class Transaction:
+    """Client-side transaction handle."""
+
+    txn_id: str
+    client_id: int
+    ts_begin: float
+    reads: Dict[str, ReadObservation] = field(default_factory=dict)
+    writes: Dict[str, Any] = field(default_factory=dict)
+    ts_commit: Optional[float] = None
+    status: str = "ACTIVE"
+    #: §4.3 extension: declared read-write in advance, permitting cached
+    #: or any-replica reads at the price of mandatory remote validation.
+    read_write_hint: bool = False
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.writes
+
+    @property
+    def read_set(self) -> List[Tuple[str, Optional[Tuple]]]:
+        """(key, observed version tuple) pairs, for prepare payloads."""
+        return [
+            (key, tuple(obs.version) if obs.version is not None else None)
+            for key, obs in self.reads.items()
+        ]
+
+    @property
+    def write_set(self) -> List[Tuple[str, Any]]:
+        return list(self.writes.items())
+
+    @property
+    def keys_touched(self) -> List[str]:
+        return sorted(set(self.reads) | set(self.writes))
+
+
+@dataclass
+class TransactionRecord:
+    """Server-side record of a prepared/decided transaction.
+
+    Lives in the primary's transaction table and, via replication, in the
+    backups' logs — the raw material of the Algorithm 2 recovery merge.
+    """
+
+    txn_id: str
+    client_id: int
+    client_name: str
+    ts_commit: float
+    #: (key, version tuple or None) for keys of *this shard* in the read set.
+    reads: List[Tuple[str, Optional[Tuple]]]
+    #: (key, value) for keys of this shard in the write set.
+    writes: List[Tuple[str, Any]]
+    #: All participant shard names (for CTP and recovery, §4.2).
+    participants: List[str]
+    status: str = PREPARED
+    prepared_at: float = 0.0
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Plain-dict form for RPC payloads and backup logs."""
+        return {
+            "txn_id": self.txn_id,
+            "client_id": self.client_id,
+            "client_name": self.client_name,
+            "ts_commit": self.ts_commit,
+            "reads": list(self.reads),
+            "writes": list(self.writes),
+            "participants": list(self.participants),
+            "status": self.status,
+            "prepared_at": self.prepared_at,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "TransactionRecord":
+        return cls(
+            txn_id=payload["txn_id"],
+            client_id=payload["client_id"],
+            client_name=payload["client_name"],
+            ts_commit=payload["ts_commit"],
+            reads=[(key, tuple(ver) if ver is not None else None)
+                   for key, ver in payload["reads"]],
+            writes=[tuple(pair) for pair in payload["writes"]],
+            participants=list(payload["participants"]),
+            status=payload["status"],
+            prepared_at=payload["prepared_at"],
+        )
+
+    @property
+    def commit_version_of(self):
+        """Factory for this transaction's write version stamps."""
+        return Version(self.ts_commit, self.client_id)

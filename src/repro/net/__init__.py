@@ -1,0 +1,46 @@
+"""Simulated intra-data-center network: latency models, message fabric,
+and a request/response RPC layer with retransmission and failure
+injection."""
+
+from .latency import (
+    DEFAULT_DATACENTER_LATENCY,
+    FixedLatency,
+    JitteredLatency,
+    LatencyModel,
+)
+from .network import Network, NetworkStats
+from .topology import (
+    DEFAULT_CROSS_RACK,
+    DEFAULT_INTRA_RACK,
+    RackTopology,
+    spread_replicas_across_racks,
+)
+from .rpc import (
+    AppError,
+    DEFAULT_RPC_TIMEOUT,
+    Request,
+    Response,
+    RpcError,
+    RpcNode,
+    RpcTimeout,
+)
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "JitteredLatency",
+    "DEFAULT_DATACENTER_LATENCY",
+    "Network",
+    "NetworkStats",
+    "RackTopology",
+    "spread_replicas_across_racks",
+    "DEFAULT_INTRA_RACK",
+    "DEFAULT_CROSS_RACK",
+    "RpcNode",
+    "Request",
+    "Response",
+    "RpcError",
+    "RpcTimeout",
+    "AppError",
+    "DEFAULT_RPC_TIMEOUT",
+]

@@ -1,0 +1,131 @@
+"""Simulated message network between named nodes.
+
+Every node owns an inbox (:class:`~repro.sim.resources.Store`). ``send``
+delivers a message into the destination inbox after a latency-model draw;
+messages may therefore arrive out of order. Failure injection:
+
+* :meth:`crash` — the node stops receiving and sending (fail-stop, §4.5);
+* :meth:`recover` — deliveries resume (the node's own state recovery is
+  the business of the protocol layer, not the network);
+* ``duplicate_probability`` — random duplicate delivery, for exercising
+  SEMEL's at-most-once/idempotence machinery (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Set
+
+from ..sim.core import Simulator
+from ..sim.resources import Store
+from ..sim.rng import SeededRng
+from .latency import DEFAULT_DATACENTER_LATENCY, LatencyModel
+
+__all__ = ["Network", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Cumulative network activity counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    bytes_by_edge: Dict[tuple, int] = field(default_factory=dict)
+
+
+class Network:
+    """A latency-modelled, failure-injectable message fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: SeededRng,
+        latency: LatencyModel = None,
+        duplicate_probability: float = 0.0,
+        topology=None,
+    ) -> None:
+        if not 0.0 <= duplicate_probability < 1.0:
+            raise ValueError(
+                "duplicate_probability must be in [0, 1), got "
+                f"{duplicate_probability}")
+        self.sim = sim
+        self.rng = rng.substream("network")
+        self.latency = latency if latency is not None \
+            else DEFAULT_DATACENTER_LATENCY()
+        #: Optional rack-aware per-pair latency (overrides ``latency``
+        #: when set); see :class:`repro.net.topology.RackTopology`.
+        self.topology = topology
+        self.duplicate_probability = duplicate_probability
+        self.stats = NetworkStats()
+        #: Optional repro.sim.trace.Tracer; categories used: "net".
+        self.tracer = None
+        self._inboxes: Dict[str, Store] = {}
+        self._crashed: Set[str] = set()
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, name: str) -> Store:
+        """Create (or return) the inbox for node ``name``."""
+        if name not in self._inboxes:
+            self._inboxes[name] = Store(self.sim)
+        return self._inboxes[name]
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._inboxes
+
+    # -- failure injection -------------------------------------------------------
+
+    def crash(self, name: str) -> None:
+        """Fail-stop ``name``: drop all of its traffic until recovery."""
+        self._crashed.add(name)
+
+    def recover(self, name: str) -> None:
+        """Allow traffic to/from ``name`` again."""
+        self._crashed.discard(name)
+
+    def is_crashed(self, name: str) -> bool:
+        return name in self._crashed
+
+    # -- messaging -------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Deliver ``message`` to ``dst`` after a latency draw.
+
+        Silently drops traffic involving crashed nodes (fail-stop model —
+        senders observe failures only as timeouts).
+        """
+        if dst not in self._inboxes:
+            raise KeyError(f"unknown destination node {dst!r}")
+        self.stats.messages_sent += 1
+        if src in self._crashed or dst in self._crashed:
+            self.stats.messages_dropped += 1
+            if self.tracer is not None:
+                self.tracer.record("net", "drop", src=src, dst=dst,
+                                   reason="crashed endpoint")
+            return
+        if self.tracer is not None:
+            self.tracer.record("net", "send", src=src, dst=dst,
+                               kind=type(message).__name__)
+        self._schedule_delivery(src, dst, message)
+        if (self.duplicate_probability > 0
+                and self.rng.random() < self.duplicate_probability):
+            self.stats.messages_duplicated += 1
+            self._schedule_delivery(src, dst, message)
+
+    def _schedule_delivery(self, src: str, dst: str, message: Any) -> None:
+        if self.topology is not None:
+            delay = self.topology.latency_between(src, dst, self.rng)
+        else:
+            delay = self.latency.sample(self.rng)
+        self.sim.process(self._deliver(src, dst, message, delay))
+
+    def _deliver(self, src: str, dst: str, message: Any, delay: float):
+        yield self.sim.timeout(delay)
+        if dst in self._crashed or src in self._crashed:
+            # Crashed while the message was in flight.
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        yield self._inboxes[dst].put(message)

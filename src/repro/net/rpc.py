@@ -1,0 +1,183 @@
+"""Request/response RPC over the simulated network.
+
+An :class:`RpcNode` owns a network inbox, a dispatch loop, and a handler
+registry. Calls carry globally unique request ids; retransmissions reuse
+the id, so servers see duplicates exactly the way SEMEL's idempotence
+machinery expects (§3.3). One-way messages (watermark broadcasts, async
+commit notifications) skip the response path entirely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..sim.core import Simulator
+from ..sim.events import Event
+from ..sim.process import Process
+from .network import Network
+
+__all__ = [
+    "Request",
+    "Response",
+    "RpcError",
+    "RpcTimeout",
+    "AppError",
+    "RpcNode",
+    "DEFAULT_RPC_TIMEOUT",
+]
+
+#: Generous relative to ~50 µs one-way latency; failed nodes answer never,
+#: so this mostly bounds failure detection time in recovery tests.
+DEFAULT_RPC_TIMEOUT = 10e-3
+
+_request_ids = itertools.count(1)
+
+
+class RpcError(Exception):
+    """Base class for RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """No response within the deadline after all retries."""
+
+
+class AppError(RpcError):
+    """Raised by a handler; propagated to the caller as a failed call."""
+
+
+@dataclass(frozen=True)
+class Request:
+    request_id: int
+    src: str
+    method: str
+    payload: Any
+    oneway: bool = False
+
+
+@dataclass(frozen=True)
+class Response:
+    request_id: int
+    ok: bool
+    payload: Any
+
+
+class RpcNode:
+    """A named endpoint that can serve handlers and make calls."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self._inbox = network.register(name)
+        self._handlers: Dict[str, Callable] = {}
+        self._pending: Dict[int, Event] = {}
+        #: Unexpected (non-AppError) exceptions raised by handlers; they
+        #: are converted to error responses, and counted here so tests can
+        #: assert nothing blew up silently.
+        self.handler_errors = 0
+        self._dispatcher = sim.process(self._dispatch_loop())
+
+    # -- server side -------------------------------------------------------
+
+    def register(self, method: str, handler: Callable) -> None:
+        """Register a generator function ``handler(payload)`` for
+        ``method``; its return value becomes the response payload."""
+        if method in self._handlers:
+            raise ValueError(f"handler for {method!r} already registered")
+        self._handlers[method] = handler
+
+    def _trace(self, message: str, **fields):
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            tracer.record("rpc", message, node=self.name, **fields)
+
+    def _dispatch_loop(self):
+        while True:
+            message = yield self._inbox.get()
+            if isinstance(message, Request):
+                self._trace("request", method=message.method,
+                            request_id=message.request_id,
+                            src=message.src)
+                self.sim.process(self._serve(message))
+            elif isinstance(message, Response):
+                waiter = self._pending.pop(message.request_id, None)
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed(message)
+                # else: duplicate or post-timeout response; drop.
+            else:
+                raise TypeError(f"unexpected message {message!r}")
+
+    def _serve(self, request: Request):
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            if not request.oneway:
+                self.network.send(self.name, request.src, Response(
+                    request.request_id, ok=False,
+                    payload=f"no handler for {request.method!r}"))
+            return
+        try:
+            result = yield from handler(request.payload)
+        except AppError as exc:
+            if not request.oneway:
+                self.network.send(self.name, request.src, Response(
+                    request.request_id, ok=False, payload=str(exc)))
+            return
+        except Exception as exc:  # noqa: BLE001 - fault isolation per request
+            self.handler_errors += 1
+            if not request.oneway:
+                self.network.send(self.name, request.src, Response(
+                    request.request_id, ok=False,
+                    payload=f"{type(exc).__name__}: {exc}"))
+            return
+        if not request.oneway:
+            self.network.send(self.name, request.src, Response(
+                request.request_id, ok=True, payload=result))
+
+    # -- client side ----------------------------------------------------------
+
+    def call(
+        self,
+        dst: str,
+        method: str,
+        payload: Any = None,
+        timeout: float = DEFAULT_RPC_TIMEOUT,
+        retries: int = 0,
+    ) -> Process:
+        """Asynchronously call ``method`` on ``dst``.
+
+        The returned process fires with the response payload; it fails
+        with :class:`RpcTimeout` after ``1 + retries`` attempts, or with
+        :class:`AppError` if the handler rejected the request. Retries
+        reuse the request id, so the callee can deduplicate.
+        """
+        return self.sim.process(
+            self._call(dst, method, payload, timeout, retries))
+
+    def notify(self, dst: str, method: str, payload: Any = None) -> None:
+        """Fire-and-forget one-way message."""
+        request = Request(next(_request_ids), self.name, method, payload,
+                          oneway=True)
+        self.network.send(self.name, dst, request)
+
+    def _call(self, dst: str, method: str, payload: Any,
+              timeout: float, retries: int):
+        request_id = next(_request_ids)
+        request = Request(request_id, self.name, method, payload)
+        attempts = 1 + max(0, retries)
+        for attempt in range(attempts):
+            waiter = self.sim.event()
+            self._pending[request_id] = waiter
+            self.network.send(self.name, dst, request)
+            deadline = self.sim.timeout(timeout)
+            outcome = yield self.sim.any_of([waiter, deadline])
+            if waiter in outcome:
+                response: Response = outcome[waiter]
+                if response.ok:
+                    return response.payload
+                raise AppError(response.payload)
+            self._pending.pop(request_id, None)
+        raise RpcTimeout(
+            f"{self.name} -> {dst}.{method}: no response after "
+            f"{attempts} attempt(s) of {timeout}s")

@@ -1,0 +1,86 @@
+"""Rack-aware network topology.
+
+The paper's single-site deployment still has structure: replicas of a
+shard are normally placed in distinct racks (fault domains), so a
+primary's backup round trip crosses the ToR switches while a client in
+the same rack reaches its server faster. :class:`RackTopology` gives the
+network per-pair latency: intra-rack messages draw from one latency
+model, cross-rack messages from another (typically ~2-4x the base).
+
+Nodes not assigned to any rack fall back to the cross-rack model — the
+conservative choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..sim.rng import SeededRng
+from .latency import JitteredLatency, LatencyModel
+
+__all__ = ["RackTopology", "DEFAULT_INTRA_RACK", "DEFAULT_CROSS_RACK"]
+
+
+def DEFAULT_INTRA_RACK() -> JitteredLatency:
+    """~20 µs one-way: a single ToR switch hop."""
+    return JitteredLatency(base=20e-6, jitter_fraction=0.15)
+
+
+def DEFAULT_CROSS_RACK() -> JitteredLatency:
+    """~80 µs one-way: ToR -> aggregation -> ToR."""
+    return JitteredLatency(base=80e-6, jitter_fraction=0.25)
+
+
+class RackTopology:
+    """Per-pair latency model based on rack placement."""
+
+    def __init__(
+        self,
+        racks: Dict[str, Sequence[str]],
+        intra_rack: Optional[LatencyModel] = None,
+        cross_rack: Optional[LatencyModel] = None,
+    ) -> None:
+        self.intra_rack = intra_rack if intra_rack is not None \
+            else DEFAULT_INTRA_RACK()
+        self.cross_rack = cross_rack if cross_rack is not None \
+            else DEFAULT_CROSS_RACK()
+        self._rack_of: Dict[str, str] = {}
+        for rack, nodes in racks.items():
+            for node in nodes:
+                if node in self._rack_of:
+                    raise ValueError(
+                        f"node {node!r} assigned to both "
+                        f"{self._rack_of[node]!r} and {rack!r}")
+                self._rack_of[node] = rack
+
+    def rack_of(self, node: str) -> Optional[str]:
+        return self._rack_of.get(node)
+
+    def assign(self, node: str, rack: str) -> None:
+        """Place (or move) a node into a rack."""
+        self._rack_of[node] = rack
+
+    def same_rack(self, a: str, b: str) -> bool:
+        rack_a = self._rack_of.get(a)
+        rack_b = self._rack_of.get(b)
+        return rack_a is not None and rack_a == rack_b
+
+    def latency_between(self, src: str, dst: str,
+                        rng: SeededRng) -> float:
+        """One delay draw for a src -> dst message."""
+        if self.same_rack(src, dst):
+            return self.intra_rack.sample(rng)
+        return self.cross_rack.sample(rng)
+
+
+def spread_replicas_across_racks(directory,
+                                 num_racks: int = 3) -> Dict[str, list]:
+    """Standard fault-domain placement: the i-th replica of every shard
+    goes to rack i (mod num_racks), so no rack failure can take out a
+    shard's majority when num_racks >= the replication factor."""
+    racks: Dict[str, list] = {f"rack{r}": [] for r in range(num_racks)}
+    for shard_name in directory.shard_names:
+        shard = directory.shard(shard_name)
+        for index, replica in enumerate(shard.replicas):
+            racks[f"rack{index % num_racks}"].append(replica)
+    return racks

@@ -1,0 +1,163 @@
+"""SEMEL client library (§3).
+
+Runs on application servers. The client stamps every operation with its
+synchronized clock, routes it to the owning shard's primary via the
+directory, and periodically broadcasts its last-acknowledged timestamp to
+all storage servers for watermark-based GC.
+
+API (mirrors the paper):
+
+* ``put(key, value)`` — create a new version stamped
+  ``(t_current, client_id)``;
+* ``get(key)`` — youngest version with timestamp <= t_current; MILANA
+  extends this with explicit snapshot timestamps via ``at=``;
+* ``delete(key)`` — drop all versions.
+
+All operations return simulation processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from ..clocks.base import Clock
+from ..net.network import Network
+from ..net.rpc import RpcNode
+from ..sim.core import Simulator
+from ..sim.process import Process
+from ..versioning import Version
+from .sharding import Directory
+
+__all__ = ["SemelClient", "DEFAULT_WATERMARK_INTERVAL"]
+
+#: How often a client broadcasts its watermark contribution (seconds).
+DEFAULT_WATERMARK_INTERVAL = 0.1
+
+
+class SemelClient:
+    """Client-side SEMEL library with a unique id and a local clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        directory: Directory,
+        clock: Clock,
+        client_id: int,
+        name: Optional[str] = None,
+        rpc_timeout: float = 10e-3,
+        rpc_retries: int = 2,
+    ) -> None:
+        self.sim = sim
+        self.directory = directory
+        self.clock = clock
+        self.client_id = client_id
+        self.name = name or f"semel-client-{client_id}"
+        self.node = RpcNode(sim, network, self.name)
+        self.rpc_timeout = rpc_timeout
+        self.rpc_retries = rpc_retries
+        #: Timestamp of the last acknowledged operation; the client's
+        #: contribution to the global watermark.
+        self.last_acked_timestamp = float("-inf")
+        self._watermark_daemon: Optional[Process] = None
+
+    # -- data operations -----------------------------------------------------
+
+    def put(self, key: str, value: Any) -> Process:
+        """Write a new version of ``key``; fires with the version used."""
+        return self.sim.process(self._put(key, value))
+
+    def get(self, key: str, at: Optional[float] = None) -> Process:
+        """Read ``key``; fires with ``(version, value)`` or ``None``.
+
+        ``at`` requests a snapshot read at a past timestamp (non-
+        linearizable by choice, §3.3); default is the client's current
+        clock reading.
+        """
+        return self.sim.process(self._get(key, at))
+
+    def delete(self, key: str) -> Process:
+        """Drop all versions of ``key``."""
+        return self.sim.process(self._delete(key))
+
+    def get_history(self, key: str, from_timestamp: float,
+                    to_timestamp: float) -> Process:
+        """Every retained version of ``key`` in a time range, oldest
+        first; fires with a list of (version, value) pairs.
+
+        Availability is bounded by the GC watermark — widen the retention
+        window (slow down watermark broadcasts) for analytics workloads
+        that need deeper history (§3.1).
+        """
+        return self.sim.process(
+            self._get_history(key, from_timestamp, to_timestamp))
+
+    def _get_history(self, key: str, from_timestamp: float,
+                     to_timestamp: float):
+        primary = self.directory.primary_of(key)
+        reply = yield self.node.call(
+            primary, "semel.get_history",
+            {"key": key, "from_timestamp": from_timestamp,
+             "to_timestamp": to_timestamp},
+            timeout=self.rpc_timeout, retries=self.rpc_retries)
+        return [(Version(*version), value)
+                for version, value in reply["versions"]]
+
+    def _put(self, key: str, value: Any):
+        version = Version(self.clock.now(), self.client_id)
+        primary = self.directory.primary_of(key)
+        yield self.node.call(
+            primary, "semel.put",
+            {"key": key, "value": value, "version": tuple(version)},
+            timeout=self.rpc_timeout, retries=self.rpc_retries)
+        self._acked(version.timestamp)
+        return version
+
+    def _get(self, key: str, at: Optional[float]):
+        max_timestamp = at if at is not None else self.clock.now()
+        primary = self.directory.primary_of(key)
+        reply = yield self.node.call(
+            primary, "semel.get",
+            {"key": key, "max_timestamp": max_timestamp},
+            timeout=self.rpc_timeout, retries=self.rpc_retries)
+        self._acked(max_timestamp)
+        if not reply["found"]:
+            return None
+        return Version(*reply["version"]), reply["value"]
+
+    def _delete(self, key: str):
+        primary = self.directory.primary_of(key)
+        yield self.node.call(
+            primary, "semel.delete", {"key": key},
+            timeout=self.rpc_timeout, retries=self.rpc_retries)
+        self._acked(self.clock.now())
+
+    def _acked(self, timestamp: float) -> None:
+        self.last_acked_timestamp = max(
+            self.last_acked_timestamp, timestamp)
+
+    # -- watermark broadcasting ------------------------------------------------
+
+    def broadcast_watermark(self) -> None:
+        """Send this client's low-water timestamp to every server."""
+        if self.last_acked_timestamp == float("-inf"):
+            return
+        payload = {
+            "client_id": self.client_id,
+            "timestamp": self.last_acked_timestamp,
+        }
+        for server in self.directory.all_servers():
+            self.node.notify(server, "semel.watermark", payload)
+
+    def start_watermark_daemon(
+            self, interval: float = DEFAULT_WATERMARK_INTERVAL) -> Process:
+        """Broadcast the watermark every ``interval`` seconds."""
+        if self._watermark_daemon is None:
+            self._watermark_daemon = self.sim.process(
+                self._watermark_loop(interval))
+        return self._watermark_daemon
+
+    def _watermark_loop(self, interval: float):
+        while True:
+            yield self.sim.timeout(interval)
+            self.broadcast_watermark()

@@ -1,0 +1,71 @@
+"""Quorum helpers for SEMEL's lightweight inconsistent replication (§3.2).
+
+SEMEL commits an update as soon as a majority of replicas acknowledge it,
+with **no ordering requirement** between updates: each backup applies
+whatever arrives, in whatever order, because version timestamps make the
+order recoverable. Concretely the primary sends an update to its 2f
+backups and waits for the first f acknowledgements (itself being the
+(f+1)-th copy).
+
+:func:`replicate_to_backups` spawns all the calls, fires as soon as the
+quorum is met, and leaves the stragglers running in the background — this
+is exactly the relaxed-backup-update behaviour of the paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..net.rpc import RpcError, RpcNode
+
+__all__ = ["QuorumError", "replicate_to_backups"]
+
+
+class QuorumError(Exception):
+    """Fewer than the required number of backups acknowledged."""
+
+
+def replicate_to_backups(
+    node: RpcNode,
+    backups: List[str],
+    method: str,
+    payload: Any,
+    need_acks: int,
+    timeout: float = 10e-3,
+):
+    """Generator: send ``method`` to every backup, return after
+    ``need_acks`` succeed.
+
+    Raises :class:`QuorumError` once enough backups have *failed* that the
+    quorum can no longer be reached. Late acknowledgements beyond the
+    quorum are simply absorbed by the still-running call processes.
+    """
+    if need_acks <= 0:
+        return 0
+    if need_acks > len(backups):
+        raise QuorumError(
+            f"need {need_acks} acks but only {len(backups)} backups")
+
+    sim = node.sim
+    quorum = sim.event()
+    state = {"acks": 0, "failures": 0}
+
+    def tracked_call(backup: str):
+        try:
+            yield node.call(backup, method, payload, timeout=timeout)
+        except RpcError:
+            state["failures"] += 1
+            if (not quorum.triggered
+                    and len(backups) - state["failures"] < need_acks):
+                quorum.fail(QuorumError(
+                    f"{method}: only {len(backups) - state['failures']} "
+                    f"backups reachable, need {need_acks}"))
+            return
+        state["acks"] += 1
+        if not quorum.triggered and state["acks"] >= need_acks:
+            quorum.succeed(state["acks"])
+
+    for backup in backups:
+        sim.process(tracked_call(backup))
+    result = yield quorum
+    return result

@@ -1,0 +1,210 @@
+"""SEMEL storage server: versioned KV service with primary/backup roles.
+
+Each server hosts one shard replica over a pluggable storage backend
+(MFTL, VFTL, DRAM, ...). The primary for a shard serializes RPCs on its
+objects (§3.3):
+
+* **get** — reads the youngest version at or below the request timestamp;
+* **put** — rejects writes older than the key's current version
+  (at-most-once with global clocks), acknowledges duplicates idempotently
+  (the watermark scheme guarantees a retransmitted write's version is
+  still retained), writes locally, and commits once f of its 2f backups
+  acknowledge the unordered replication record;
+* **delete** — replicated the same way.
+
+Backups apply replication records in whatever order they arrive —
+"inconsistent replication" (§3.2) — because version stamps recover the
+order. All handlers are idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..ftl.base import KVBackend
+from ..net.network import Network
+from ..net.rpc import AppError, RpcNode
+from ..sim.core import Simulator
+from ..versioning import Version
+from .replication import replicate_to_backups
+from .sharding import Directory
+from .watermark import WatermarkTracker
+
+__all__ = ["StorageServer"]
+
+
+class StorageServer:
+    """One shard replica: RPC service over a versioned storage backend."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        directory: Directory,
+        name: str,
+        shard_name: str,
+        backend: KVBackend,
+        replication_timeout: float = 10e-3,
+    ) -> None:
+        self.sim = sim
+        self.directory = directory
+        self.name = name
+        self.shard_name = shard_name
+        self.backend = backend
+        self.replication_timeout = replication_timeout
+        self.node = RpcNode(sim, network, name)
+        self.watermarks = WatermarkTracker()
+        self.puts_rejected_stale = 0
+        self.puts_deduplicated = 0
+        #: (key, version) -> completion event for puts still in flight, so
+        #: a retransmission arriving mid-write coalesces with the original
+        #: instead of double-inserting.
+        self._inflight_puts: Dict[tuple, Any] = {}
+        self._register_handlers()
+
+    # -- role helpers -----------------------------------------------------
+
+    @property
+    def shard(self):
+        return self.directory.shard(self.shard_name)
+
+    @property
+    def is_primary(self) -> bool:
+        return self.shard.primary == self.name
+
+    @property
+    def backups(self) -> List[str]:
+        return [replica for replica in self.shard.replicas
+                if replica != self.name]
+
+    @property
+    def quorum_acks(self) -> int:
+        """Backup acks needed for a majority including this primary."""
+        return self.shard.fault_tolerance
+
+    def _require_primary(self) -> None:
+        if not self.is_primary:
+            raise AppError(
+                f"{self.name} is not the primary of {self.shard_name}")
+
+    # -- handler registration ---------------------------------------------
+
+    def _register_handlers(self) -> None:
+        self.node.register("semel.get", self._handle_get)
+        self.node.register("semel.get_history", self._handle_get_history)
+        self.node.register("semel.put", self._handle_put)
+        self.node.register("semel.delete", self._handle_delete)
+        self.node.register("semel.replicate", self._handle_replicate)
+        self.node.register("semel.watermark", self._handle_watermark)
+
+    # -- handlers --------------------------------------------------------------
+
+    def _handle_get(self, payload: Dict[str, Any]):
+        self._require_primary()
+        key = payload["key"]
+        max_timestamp = payload.get("max_timestamp")
+        result = yield self.backend.get(key, max_timestamp=max_timestamp)
+        if result is None:
+            return {"found": False}
+        version, value = result
+        return {"found": True, "version": tuple(version), "value": value}
+
+    def _handle_get_history(self, payload: Dict[str, Any]):
+        """Snapshot-history read for analytics (§3.1's tunable-window
+        motivation): every retained version of a key in a time range."""
+        self._require_primary()
+        history = yield self.backend.get_history(
+            payload["key"], payload["from_timestamp"],
+            payload["to_timestamp"])
+        return {
+            "versions": [
+                (tuple(version), value) for version, value in history
+            ],
+        }
+
+    def _handle_put(self, payload: Dict[str, Any]):
+        self._require_primary()
+        key = payload["key"]
+        value = payload["value"]
+        version = Version(*payload["version"])
+        inflight_key = (key, version)
+        inflight = self._inflight_puts.get(inflight_key)
+        if inflight is not None:
+            # A duplicate of a put still being written: wait for the
+            # original to finish and repeat its response.
+            self.puts_deduplicated += 1
+            yield inflight
+            return {"applied": True, "duplicate": True}
+        existing = self.backend.versions_of(key)
+        if version in existing:
+            # Retransmitted request: repeat the earlier success response.
+            self.puts_deduplicated += 1
+            return {"applied": True, "duplicate": True}
+        if existing and version < existing[0]:
+            # §3.3: a timestamp comparison blocks stale writes; the client
+            # receives a rejection but at-most-once semantics hold.
+            self.puts_rejected_stale += 1
+            raise AppError(
+                f"stale write for {key!r}: {version} < {existing[0]}")
+        done = self.sim.event()
+        self._inflight_puts[inflight_key] = done
+        try:
+            yield self.backend.put(key, value, version)
+            yield from self._replicate({
+                "op": "put", "key": key, "value": value,
+                "version": tuple(version),
+            })
+        finally:
+            del self._inflight_puts[inflight_key]
+            done.succeed()
+        return {"applied": True, "duplicate": False}
+
+    def _handle_delete(self, payload: Dict[str, Any]):
+        self._require_primary()
+        key = payload["key"]
+        yield self.backend.delete(key)
+        yield from self._replicate({"op": "delete", "key": key})
+        return {"applied": True}
+
+    def _handle_replicate(self, payload: Dict[str, Any]):
+        """Backup-side application of an unordered replication record."""
+        op = payload["op"]
+        key = payload["key"]
+        if op == "put":
+            version = Version(*payload["version"])
+            inflight_key = ("replicate", key, version)
+            inflight = self._inflight_puts.get(inflight_key)
+            if inflight is not None:
+                yield inflight
+            elif version not in self.backend.versions_of(key):
+                done = self.sim.event()
+                self._inflight_puts[inflight_key] = done
+                try:
+                    yield self.backend.put(key, payload["value"], version)
+                finally:
+                    del self._inflight_puts[inflight_key]
+                    done.succeed()
+        elif op == "delete":
+            yield self.backend.delete(key)
+        else:
+            raise AppError(f"unknown replication op {op!r}")
+        return {"ack": True}
+
+    def _handle_watermark(self, payload: Dict[str, Any]):
+        self.watermarks.report(payload["client_id"], payload["timestamp"])
+        watermark = self.watermarks.watermark
+        if watermark > float("-inf"):
+            self.backend.set_watermark(watermark)
+        yield from ()  # handler protocol: must be a generator
+        return {"ack": True}
+
+    # -- replication ---------------------------------------------------------------
+
+    def _replicate(self, record: Dict[str, Any]):
+        backups = self.backups
+        need = min(self.quorum_acks, len(backups))
+        if need <= 0:
+            return
+        yield from replicate_to_backups(
+            self.node, backups, "semel.replicate", record, need,
+            timeout=self.replication_timeout)

@@ -1,0 +1,59 @@
+"""Watermark tracking for garbage collection (§3.1 / §4.4).
+
+Each client periodically broadcasts the timestamp of its last acknowledged
+(SEMEL) or last decided (MILANA) operation to all storage servers; the
+minimum over all clients is the watermark. Because synchronized clocks are
+monotonic, no client will ever issue an operation — or begin a transaction
+— with a timestamp below the watermark, so GC may discard every version
+older than the youngest one at or below it.
+
+A server cannot take the min until it has heard from *every* registered
+client (an absent client might be running an old transaction), so the
+tracker starts at -inf and only advances once all expected clients have
+reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+__all__ = ["WatermarkTracker"]
+
+
+class WatermarkTracker:
+    """Server-side aggregation of client low-water timestamps."""
+
+    def __init__(self, expected_clients: Optional[Iterable[int]] = None) -> None:
+        self._reported: Dict[int, float] = {}
+        self._expected = set(expected_clients) if expected_clients else None
+
+    def expect(self, client_id: int) -> None:
+        """Add a client whose report must arrive before the min counts."""
+        if self._expected is None:
+            self._expected = set()
+        self._expected.add(client_id)
+        self._reported.setdefault(client_id, float("-inf"))
+
+    def report(self, client_id: int, timestamp: float) -> None:
+        """Record a client's low-water timestamp (monotonic per client)."""
+        current = self._reported.get(client_id, float("-inf"))
+        self._reported[client_id] = max(current, timestamp)
+        if self._expected is not None:
+            self._expected.add(client_id)
+
+    @property
+    def watermark(self) -> float:
+        """Min over all expected clients; -inf until everyone reported."""
+        if not self._reported:
+            return float("-inf")
+        if self._expected is not None:
+            missing = self._expected - set(self._reported)
+            if missing:
+                return float("-inf")
+        return min(self._reported.values())
+
+    def forget(self, client_id: int) -> None:
+        """Drop a departed client so it stops holding the watermark back."""
+        self._reported.pop(client_id, None)
+        if self._expected is not None:
+            self._expected.discard(client_id)

@@ -1,0 +1,10 @@
+"""Services layered on MILANA — the paper's §7 future-work directions
+("developing other services such as: file systems, distributed lock
+services, ..."). Each is an ordinary transactional client application,
+demonstrating the public API carrying real coordination workloads."""
+
+from .locks import DistributedLockService, LockHandle
+from .queue import TransactionalQueue
+
+__all__ = ["DistributedLockService", "LockHandle",
+           "TransactionalQueue"]

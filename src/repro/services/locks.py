@@ -1,0 +1,163 @@
+"""A distributed lock service over MILANA transactions (§7 future work).
+
+Each lock is one key holding ``{owner, expires}``. Acquisition is a
+read-modify-write transaction: read the lock state, and if it is free —
+or its lease has expired — write yourself in. OCC provides the mutual
+exclusion: two racing acquirers conflict on the write set and exactly one
+commits (Algorithm 1's write-write check), with no server-side lock
+manager at all.
+
+Leases make the service crash-safe: a holder that dies simply stops
+renewing, and after ``ttl`` the lock is claimable again. Because lease
+expiry compares the *acquirer's* clock against the *previous holder's*
+timestamp, the ``ttl`` must comfortably exceed the cluster's clock skew
+(trivially true for PTP's microseconds; even NTP's milliseconds are small
+against typical sub-second TTLs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..milana.client import MilanaClient, TransactionAborted
+from ..milana.transaction import COMMITTED
+from ..sim.process import Process
+
+__all__ = ["DistributedLockService", "LockHandle"]
+
+_FREE = {"owner": None, "expires": float("-inf")}
+
+
+@dataclass(frozen=True)
+class LockHandle:
+    """Proof of acquisition, needed to release or renew."""
+
+    name: str
+    owner: str
+    expires: float
+
+
+class DistributedLockService:
+    """Client-side lock operations; state lives in the MILANA store."""
+
+    def __init__(self, client: MilanaClient, ttl: float = 0.5,
+                 key_prefix: str = "__lock__:") -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.client = client
+        self.ttl = ttl
+        self.key_prefix = key_prefix
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def _key(self, name: str) -> str:
+        return f"{self.key_prefix}{name}"
+
+    # -- operations ----------------------------------------------------------
+
+    def acquire(self, name: str, owner: Optional[str] = None) -> Process:
+        """Try to take the lock; fires with a LockHandle or None."""
+        owner = owner or self.client.name
+        return self.client.sim.process(self._acquire(name, owner))
+
+    def release(self, handle: LockHandle) -> Process:
+        """Release a held lock; fires with True if the release committed
+        while the handle was still the current holder."""
+        return self.client.sim.process(self._release(handle))
+
+    def renew(self, handle: LockHandle) -> Process:
+        """Extend a held lease; fires with a fresh handle or None if the
+        lock was lost (lease expired and taken over)."""
+        return self.client.sim.process(self._renew(handle))
+
+    def holder(self, name: str) -> Process:
+        """Fires with the current owner name, or None if free/expired."""
+        return self.client.sim.process(self._holder(name))
+
+    # -- transaction bodies -----------------------------------------------------
+
+    def _read_state(self, txn, name):
+        value = yield self.client.txn_get(txn, self._key(name))
+        return value if value is not None else dict(_FREE)
+
+    def _acquire(self, name: str, owner: str):
+        client = self.client
+        txn = client.begin()
+        try:
+            state = yield from self._read_state(txn, name)
+        except TransactionAborted:
+            client.abort(txn, "lock-read")
+            return None
+        now = client.clock.now()
+        if state["owner"] is not None and state["expires"] > now:
+            # Held and current; complete as a (read-only) observation.
+            yield client.commit(txn)
+            self.contentions += 1
+            return None
+        expires = now + self.ttl
+        client.put(txn, self._key(name),
+                   {"owner": owner, "expires": expires})
+        outcome = yield client.commit(txn)
+        if outcome != COMMITTED:
+            self.contentions += 1
+            return None
+        self.acquisitions += 1
+        return LockHandle(name=name, owner=owner, expires=expires)
+
+    def _release(self, handle: LockHandle):
+        client = self.client
+        txn = client.begin()
+        try:
+            state = yield from self._read_state(txn, handle.name)
+        except TransactionAborted:
+            client.abort(txn, "lock-read")
+            return False
+        if state["owner"] != handle.owner:
+            yield client.commit(txn)
+            return False
+        client.put(txn, self._key(handle.name), dict(_FREE))
+        outcome = yield client.commit(txn)
+        return outcome == COMMITTED
+
+    def _renew(self, handle: LockHandle):
+        client = self.client
+        txn = client.begin()
+        try:
+            state = yield from self._read_state(txn, handle.name)
+        except TransactionAborted:
+            client.abort(txn, "lock-read")
+            return None
+        if state["owner"] != handle.owner:
+            yield client.commit(txn)
+            return None
+        expires = client.clock.now() + self.ttl
+        client.put(txn, self._key(handle.name),
+                   {"owner": handle.owner, "expires": expires})
+        outcome = yield client.commit(txn)
+        if outcome != COMMITTED:
+            return None
+        return LockHandle(name=handle.name, owner=handle.owner,
+                          expires=expires)
+
+    def _holder(self, name: str):
+        client = self.client
+        # Read-only observation: retry until the snapshot validates
+        # (a racing commit may still be applying).
+        for _attempt in range(10):
+            txn = client.begin()
+            try:
+                state = yield from self._read_state(txn, name)
+            except TransactionAborted:
+                client.abort(txn, "lock-read")
+                yield client.sim.timeout(0.5e-3)
+                continue
+            outcome = yield client.commit(txn)
+            if outcome == COMMITTED:
+                break
+            yield client.sim.timeout(0.5e-3)
+        if state["owner"] is None:
+            return None
+        if state["expires"] <= client.clock.now():
+            return None
+        return state["owner"]

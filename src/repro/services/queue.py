@@ -1,0 +1,137 @@
+"""A transactional FIFO queue over MILANA (§7 future-work direction).
+
+The queue is ordinary keyed state: a descriptor key holding ``{head,
+tail}`` plus one key per slot. Enqueue reads the descriptor, writes the
+element at ``tail`` and bumps the descriptor; dequeue reads ``head``,
+consumes the element and bumps ``head`` — each a read-modify-write
+transaction, so concurrent producers/consumers serialize through OCC:
+conflicting operations abort and retry, and every element is delivered
+exactly once even with many racing consumers.
+
+This is deliberately the "naive" design (a single descriptor key is a
+contention point) — it demonstrates that correctness comes for free from
+the transaction layer; throughput-oriented designs (sharded sub-queues)
+compose from the same primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..milana.client import MilanaClient, TransactionAborted
+from ..milana.transaction import COMMITTED
+from ..sim.process import Process
+
+__all__ = ["TransactionalQueue"]
+
+
+class TransactionalQueue:
+    """Client-side handle to a named queue stored in MILANA."""
+
+    def __init__(self, client: MilanaClient, name: str,
+                 max_retries: int = 20,
+                 retry_backoff: float = 0.5e-3) -> None:
+        self.client = client
+        self.name = name
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.enqueued = 0
+        self.dequeued = 0
+        self.retries = 0
+
+    def _descriptor_key(self) -> str:
+        return f"__queue__:{self.name}"
+
+    def _slot_key(self, index: int) -> str:
+        return f"__queue__:{self.name}:{index}"
+
+    # -- operations -----------------------------------------------------------
+
+    def enqueue(self, item: Any) -> Process:
+        """Append ``item``; fires with its slot index (or None if every
+        retry conflicted)."""
+        return self.client.sim.process(self._enqueue(item))
+
+    def dequeue(self) -> Process:
+        """Pop the oldest item; fires with it, or None if the queue is
+        empty (after retries on conflict)."""
+        return self.client.sim.process(self._dequeue())
+
+    def size(self) -> Process:
+        """Fires with the current number of queued elements."""
+        return self.client.sim.process(self._size())
+
+    # -- transaction bodies ------------------------------------------------------
+
+    def _read_descriptor(self, txn):
+        descriptor = yield self.client.txn_get(
+            txn, self._descriptor_key())
+        if descriptor is None:
+            descriptor = {"head": 0, "tail": 0}
+        return descriptor
+
+    def _enqueue(self, item: Any):
+        client = self.client
+        for _attempt in range(1 + self.max_retries):
+            txn = client.begin()
+            try:
+                descriptor = yield from self._read_descriptor(txn)
+            except TransactionAborted:
+                client.abort(txn, "queue-read")
+                yield client.sim.timeout(self.retry_backoff)
+                continue
+            index = descriptor["tail"]
+            client.put(txn, self._slot_key(index), item)
+            client.put(txn, self._descriptor_key(),
+                       {"head": descriptor["head"], "tail": index + 1})
+            outcome = yield client.commit(txn)
+            if outcome == COMMITTED:
+                self.enqueued += 1
+                return index
+            self.retries += 1
+            yield client.sim.timeout(self.retry_backoff)
+        return None
+
+    def _dequeue(self):
+        client = self.client
+        for _attempt in range(1 + self.max_retries):
+            txn = client.begin()
+            try:
+                descriptor = yield from self._read_descriptor(txn)
+                if descriptor["head"] >= descriptor["tail"]:
+                    yield client.commit(txn)
+                    return None  # empty
+                item = yield client.txn_get(
+                    txn, self._slot_key(descriptor["head"]))
+            except TransactionAborted:
+                client.abort(txn, "queue-read")
+                yield client.sim.timeout(self.retry_backoff)
+                continue
+            client.put(txn, self._descriptor_key(), {
+                "head": descriptor["head"] + 1,
+                "tail": descriptor["tail"],
+            })
+            outcome = yield client.commit(txn)
+            if outcome == COMMITTED:
+                self.dequeued += 1
+                return item
+            self.retries += 1
+            yield client.sim.timeout(self.retry_backoff)
+        return None
+
+    def _size(self):
+        # A read-only observation: retry until local validation passes,
+        # or the snapshot may predate a commit still being applied.
+        for _attempt in range(1 + self.max_retries):
+            txn = self.client.begin()
+            try:
+                descriptor = yield from self._read_descriptor(txn)
+            except TransactionAborted:
+                self.client.abort(txn, "queue-read")
+                yield self.client.sim.timeout(self.retry_backoff)
+                continue
+            outcome = yield self.client.commit(txn)
+            if outcome == COMMITTED:
+                return descriptor["tail"] - descriptor["head"]
+            yield self.client.sim.timeout(self.retry_backoff)
+        return descriptor["tail"] - descriptor["head"]

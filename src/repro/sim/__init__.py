@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+This package provides the deterministic simulation substrate the whole
+reproduction runs on: an event heap with float seconds of virtual time,
+generator-based processes, condition events, FIFO stores, counted
+resources, and named seedable random streams.
+"""
+
+from .core import Simulator, StopSimulation
+from .events import AllOf, AnyOf, Event, Interrupt, Timeout
+from .process import Process
+from .resources import Resource, Store
+from .rng import SeededRng
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Process",
+    "Store",
+    "Resource",
+    "SeededRng",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,131 @@
+"""The discrete-event simulator loop.
+
+A :class:`Simulator` owns the event queue and the notion of *now*. Time is a
+float measured in **seconds** of simulated time; all latency constants in
+this package (flash timings, network delays, clock skews) are expressed in
+seconds so that microsecond-scale device behaviour and millisecond-scale
+clock skews compose naturally.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello():
+...     yield sim.timeout(1.5)
+...     return "done"
+>>> proc = sim.process(hello())
+>>> sim.run()
+>>> proc.value
+'done'
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Simulator", "StopSimulation"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` at an event."""
+
+
+class Simulator:
+    """Owns simulated time and the pending-event heap.
+
+    Events are totally ordered by ``(time, sequence_number)`` so that ties
+    resolve in scheduling order, which makes runs fully deterministic for a
+    fixed seed.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue ``event`` to fire ``delay`` seconds from now."""
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create a pending event to be succeeded/failed manually."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process driving ``generator``; returns its Process."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event that fires when any child fires."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event that fires when every child has fired."""
+        return AllOf(self, list(events))
+
+    # -- execution --------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def step(self) -> None:
+        """Pop and process the single next event."""
+        time, _, event = heapq.heappop(self._heap)
+        self._now = time
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or simulated time reaches ``until``.
+
+        When ``until`` is given, time is advanced exactly to ``until`` even
+        if the queue drains earlier, so that back-to-back ``run`` calls see
+        consistent clocks.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return
+        if until < self._now:
+            raise ValueError(
+                f"cannot run backwards: until={until} < now={self._now}")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = max(self._now, until)
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` has been processed; return its value.
+
+        Raises ``RuntimeError`` if the queue drains (or ``limit`` simulated
+        seconds pass) before the event fires, and re-raises the failure
+        exception if the event failed.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise RuntimeError(
+                    f"simulation queue drained before {event!r} fired")
+            if limit is not None and self._heap[0][0] > limit:
+                raise RuntimeError(
+                    f"simulated time limit {limit} reached before "
+                    f"{event!r} fired")
+            self.step()
+        if event.ok is False:
+            raise event.value
+        return event.value

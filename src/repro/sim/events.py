@@ -1,0 +1,209 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot occurrence at a point in simulated time.
+Processes (see :mod:`repro.sim.process`) suspend by yielding events and are
+resumed when the event *fires*. Events carry either a success value or a
+failure exception.
+
+The lifecycle of an event is:
+
+1. *pending* — created, not yet triggered.
+2. *triggered* — a value (or failure) has been attached and the event has
+   been placed on the simulator's queue.
+3. *processed* — the simulator has popped the event and run its callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+]
+
+
+class _Pending:
+    """Sentinel marking an event that has not yet been triggered."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events are created against a :class:`~repro.sim.core.Simulator` and may
+    be *succeeded* (with an optional value) or *failed* (with an exception).
+    Both operations enqueue the event so that its callbacks run at the
+    current simulation time, after the caller returns control to the
+    simulator loop.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:  # noqa: F821
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+        #: Set when a failure has been deliberately handled, suppressing the
+        #: simulator's unhandled-failure check.
+        self.defused = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or failure attached."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None while pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception attached to the event."""
+        if self._value is PENDING:
+            raise RuntimeError(f"{self!r} has not yet been triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Attach a success value and enqueue the event at the current time."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Attach a failure exception and enqueue the event."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self)
+        return self
+
+    def _fire(self) -> None:
+        """Run callbacks; invoked by the simulator when the event is popped."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if self._ok is False and not self.defused:
+            # A failed event that nobody is waiting on is a programming
+            # error; surface it rather than letting it pass silently.
+            raise self._value
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when it is interrupted.
+
+    The ``cause`` attribute carries whatever object the interrupter supplied
+    (commonly a string reason or the failing peer's identity).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:  # noqa: F821
+        super().__init__(sim)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        """Map each already-fired child event to its value, in order."""
+        return {
+            event: event._value
+            for event in self.events
+            if event.processed and event.ok
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of its child events fires.
+
+    The value is a dict mapping every already-triggered child to its value.
+    A failing child fails the condition.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok is False:
+            event.defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all of its child events have fired.
+
+    The value is a dict mapping every child to its value. A failing child
+    fails the condition immediately.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok is False:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._collect())

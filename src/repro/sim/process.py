@@ -1,0 +1,127 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator. Each ``yield`` must produce an
+:class:`~repro.sim.events.Event`; the process suspends until the event fires
+and resumes with the event's value (or, for a failed event, the exception is
+thrown into the generator). A process is itself an event that fires with the
+generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .events import Event, Interrupt
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """Drives a generator, suspending at each yielded event."""
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:  # noqa: F821
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {generator!r}; did you "
+                "forget to call the generator function?")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Event = None  # type: ignore[assignment]
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        sim.schedule(bootstrap)
+        self._waiting_on = bootstrap
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current event (which may still fire
+        later and is ignored). Interrupting a finished process is an error.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self!r}")
+        carrier = Event(self.sim)
+        carrier._ok = False
+        carrier._value = Interrupt(cause)
+        carrier.defused = True
+
+        waiting_on = self._waiting_on
+        if waiting_on is not None and not waiting_on.processed:
+            try:
+                waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = carrier
+        carrier.callbacks.append(self._resume)
+        self.sim.schedule(carrier)
+
+    # -- internals ----------------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        if trigger is not self._waiting_on:
+            # A stale event (e.g. one abandoned by an interrupt) fired.
+            return
+        self._waiting_on = None  # type: ignore[assignment]
+        try:
+            if trigger.ok:
+                target = self._generator.send(trigger._value)
+            else:
+                trigger.defused = True
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process quietly with the
+            # interrupt as a failure value for anyone joined on it.
+            self._ok = False
+            self._value = exc
+            self.defused = True
+            self.sim.schedule(self)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            error = TypeError(
+                f"process yielded {target!r}; processes must yield Events")
+            self._crash(error)
+            return
+
+        if target.processed:
+            # The yielded event fired during an earlier simulator step; relay
+            # its outcome through a fresh immediate event.
+            relay = Event(self.sim)
+            relay._ok = target._ok
+            relay._value = target._value
+            if relay._ok is False:
+                target.defused = True
+                relay.defused = True
+            self._waiting_on = relay
+            relay.callbacks.append(self._resume)
+            self.sim.schedule(relay)
+        else:
+            if target._ok is False:
+                target.defused = True
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+    def _crash(self, error: BaseException) -> None:
+        """Terminate the generator with ``error`` and fail the process."""
+        try:
+            self._generator.throw(error)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:  # noqa: BLE001
+            self.fail(exc)
+            return
+        self.fail(error)

@@ -1,0 +1,91 @@
+"""Structured event tracing for simulation debugging.
+
+A :class:`Tracer` collects timestamped, categorized records into a
+bounded ring buffer. Components trace opportunistically (tracing is a
+no-op unless a tracer is attached and the category enabled), so the hot
+path stays fast; when something goes wrong, the recent protocol history
+is right there:
+
+    tracer = Tracer(categories={"rpc"})
+    network.tracer = tracer
+    ...
+    print(tracer.render(last=50))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extra = " ".join(f"{key}={value!r}"
+                         for key, value in self.fields.items())
+        timestamp = f"{self.time * 1e3:10.4f}ms"
+        return f"{timestamp} [{self.category}] {self.message}" + \
+            (f" {extra}" if extra else "")
+
+
+class Tracer:
+    """Bounded, category-filtered trace collector."""
+
+    def __init__(self, sim, categories: Optional[Iterable[str]] = None,
+                 capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        #: None means trace everything.
+        self.categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None)
+        self.capacity = capacity
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def wants(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def record(self, category: str, message: str, **fields: Any) -> None:
+        """Add a record if the category is enabled."""
+        if not self.wants(category):
+            return
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(
+            TraceRecord(self.sim.now, category, message, fields))
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, category: Optional[str] = None,
+                last: Optional[int] = None) -> List[TraceRecord]:
+        """Collected records, optionally filtered and truncated."""
+        selected = [
+            record for record in self._records
+            if category is None or record.category == category
+        ]
+        if last is not None:
+            selected = selected[-last:]
+        return selected
+
+    def render(self, category: Optional[str] = None,
+               last: Optional[int] = None) -> str:
+        return "\n".join(record.render()
+                         for record in self.records(category, last))
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0

@@ -1,0 +1,22 @@
+"""Offline correctness checkers.
+
+Consistency claims deserve machine checking, not eyeballing. This
+package provides the two checkers the test suite (and any downstream
+experiment) uses to validate executions:
+
+* :mod:`repro.verify.serializability` — multi-version serialization-graph
+  test over committed transactions (the guarantee MILANA promises);
+* :mod:`repro.verify.linearizability` — Wing & Gong register
+  linearizability over timed single-key histories (the guarantee SEMEL's
+  §3.3 RPCs promise for current-time operations).
+"""
+
+from .linearizability import Op, check_linearizability
+from .serializability import TxnEntry, check_serializability
+
+__all__ = [
+    "TxnEntry",
+    "check_serializability",
+    "Op",
+    "check_linearizability",
+]

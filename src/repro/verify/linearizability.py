@@ -1,0 +1,95 @@
+"""Register linearizability checking (Wing & Gong).
+
+SEMEL's §3.3 claim: current-time single-key RPCs are linearizable —
+writes take effect in timestamp order consistent with real time, and a
+read returns the value of the latest write linearized before it. The
+checker takes a timed history of operations per key (invocation and
+response instants from the client's point of view) and searches for a
+legal linearization: a total order that respects real-time precedence
+(op A precedes op B if A.end < B.start) and register semantics (every
+read returns the most recently written value, or the initial value).
+
+The search is the classic Wing & Gong backtracking over *minimal*
+operations (those with no uncompleted predecessor), with a visited-state
+cache. Exponential in the worst case, fine for the hundreds-of-ops
+histories tests produce. Failed writes (rejected as stale, §3.3) must be
+excluded by the caller — at-most-once means they never took effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Op", "check_linearizability"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One completed operation on one register (key)."""
+
+    kind: str          # "read" or "write"
+    value: Any         # value written, or value returned by the read
+    start: float       # invocation time
+    end: float         # response time
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"kind must be read/write, got {self.kind}")
+        if self.end < self.start:
+            raise ValueError(
+                f"response before invocation: {self.end} < {self.start}")
+
+
+def check_linearizability(ops: List[Op],
+                          initial: Any = None) -> bool:
+    """True iff ``ops`` (one register's history) is linearizable.
+
+    ``initial`` is the register's starting value; reads returning it are
+    legal before any write linearizes (SEMEL returns None for a missing
+    key, so the default fits). Values must be hashable.
+    """
+    n = len(ops)
+    if n == 0:
+        return True
+    if n > 20:
+        # The bitmask search below is exponential; histories this long
+        # should be split by the caller (e.g. per key, per time window).
+        raise ValueError(
+            f"history too long for exact checking ({n} ops > 20); "
+            "partition it per key or window")
+
+    # precedes[i] = bitmask of ops that must linearize before op i.
+    precedes = [0] * n
+    for i in range(n):
+        for j in range(n):
+            if i != j and ops[j].end < ops[i].start:
+                precedes[i] |= 1 << j
+
+    full = (1 << n) - 1
+    seen = set()
+
+    def search(done_mask: int, current: Any) -> bool:
+        if done_mask == full:
+            return True
+        state = (done_mask, current)
+        if state in seen:
+            return False
+        seen.add(state)
+        for i in range(n):
+            bit = 1 << i
+            if done_mask & bit:
+                continue
+            if (precedes[i] & done_mask) != precedes[i]:
+                continue  # a required predecessor hasn't linearized yet
+            op = ops[i]
+            if op.kind == "write":
+                if search(done_mask | bit, op.value):
+                    return True
+            else:
+                if op.value == current and \
+                        search(done_mask | bit, current):
+                    return True
+        return False
+
+    return search(0, initial)

@@ -1,0 +1,32 @@
+"""Version identifiers shared by every layer.
+
+SEMEL versions each value with ``V = (timestamp, clientID)`` (§3): the
+timestamp comes from the writing client's synchronized clock and the client
+id breaks ties, inducing a total order over simultaneous writes. Plain
+tuple comparison on the NamedTuple gives exactly that order.
+
+Timestamps are floats in seconds of (the client's view of) wall-clock time.
+The paper uses 64-bit integer timestamps at ~100 ns resolution; float
+seconds carry the same information at the scales simulated here and keep
+arithmetic with latency constants direct.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["Version", "MIN_VERSION"]
+
+
+class Version(NamedTuple):
+    """A globally ordered version identifier ``(timestamp, client_id)``."""
+
+    timestamp: float
+    client_id: int
+
+    def __str__(self) -> str:
+        return f"{self.timestamp:.9f}@c{self.client_id}"
+
+
+#: Smaller than any version a real client can produce.
+MIN_VERSION = Version(float("-inf"), -1)

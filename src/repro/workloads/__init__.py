@@ -1,0 +1,27 @@
+"""Workload generators: Zipf key choice, the Retwis benchmark (Table 2),
+and the single-SSD KV micro-benchmark (Table 1)."""
+
+from .microbench import MicrobenchResult, run_kv_microbench
+from .retwis import (
+    RETWIS_MIX,
+    RETWIS_MIX_75_READONLY,
+    RetwisInstance,
+    RetwisStats,
+    TXN_TYPES,
+)
+from .ycsb import YCSB_WORKLOADS, YcsbInstance, YcsbStats
+from .zipf import ZipfGenerator
+
+__all__ = [
+    "ZipfGenerator",
+    "RetwisInstance",
+    "RetwisStats",
+    "RETWIS_MIX",
+    "RETWIS_MIX_75_READONLY",
+    "TXN_TYPES",
+    "YcsbInstance",
+    "YcsbStats",
+    "YCSB_WORKLOADS",
+    "MicrobenchResult",
+    "run_kv_microbench",
+]

@@ -1,0 +1,64 @@
+"""Zipfian key selection.
+
+The Retwis benchmark's *Contention parameter* α controls key sharing
+between transactions (§5.2, Figures 6–9): higher α concentrates accesses
+onto fewer hot keys. P(rank k) ∝ 1/k^α over ranks 1..n.
+
+The CDF is precomputed once; each draw is a binary search — O(log n) per
+sample, fine for the multi-million-sample runs the experiments do.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Sequence
+
+from ..sim.rng import SeededRng
+
+__all__ = ["ZipfGenerator"]
+
+
+class ZipfGenerator:
+    """Draws items from a sequence with Zipf(α) popularity by rank."""
+
+    def __init__(self, rng: SeededRng, items: Sequence,
+                 alpha: float) -> None:
+        if not items:
+            raise ValueError("need at least one item")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.rng = rng
+        self.items = list(items)
+        self.alpha = alpha
+        weights = [1.0 / (rank ** alpha)
+                   for rank in range(1, len(self.items) + 1)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cdf = cumulative
+
+    def draw(self):
+        """One item, Zipf-distributed by rank."""
+        u = self.rng.random()
+        index = bisect_left(self._cdf, u)
+        return self.items[index]
+
+    def draw_distinct(self, count: int) -> list:
+        """``count`` distinct items (count must not exceed the universe)."""
+        if count > len(self.items):
+            raise ValueError(
+                f"cannot draw {count} distinct from {len(self.items)}")
+        chosen = []
+        seen = set()
+        # Rejection sampling; with count << n this terminates fast even
+        # under heavy skew because the tail is vast.
+        while len(chosen) < count:
+            item = self.draw()
+            if item not in seen:
+                seen.add(item)
+                chosen.append(item)
+        return chosen

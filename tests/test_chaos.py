@@ -1,0 +1,107 @@
+"""Chaos tests: the system stays correct under rolling failures."""
+
+import pytest
+
+from repro.harness.chaos import ChaosMonkey, FailurePlan
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.milana import COMMITTED
+from repro.sim import SeededRng
+from repro.workloads import RetwisInstance
+
+
+def make_cluster(**overrides):
+    defaults = dict(num_shards=2, replicas_per_shard=3, num_clients=4,
+                    backend="dram", clock_preset="ptp-sw", seed=137,
+                    populate_keys=200)
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+class TestFailurePlan:
+    def test_executes_in_time_order(self):
+        cluster = make_cluster()
+        plan = (FailurePlan(cluster)
+                .recover(30e-3, "srv-0-1")
+                .crash(10e-3, "srv-0-1"))
+        plan.start()
+        cluster.sim.run(until=0.05)
+        assert [(round(t, 4), action, node)
+                for t, action, node in plan.executed] == [
+            (0.01, "crash", "srv-0-1"),
+            (0.03, "recover", "srv-0-1"),
+        ]
+        assert not cluster.network.is_crashed("srv-0-1")
+
+    def test_backup_blip_does_not_lose_commits(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        (FailurePlan(cluster)
+            .crash(5e-3, "srv-0-1")
+            .recover(25e-3, "srv-0-1")
+            .start())
+
+        def work():
+            outcomes = []
+            for i in range(20):
+                txn = client.begin()
+                yield client.txn_get(txn, f"key:{i}")
+                client.put(txn, f"key:{i}", f"gen-{i}")
+                outcomes.append((yield client.commit(txn)))
+                yield cluster.sim.timeout(2e-3)
+            return outcomes
+
+        outcomes = cluster.sim.run_until_event(
+            cluster.sim.process(work()))
+        # One backup down still leaves a quorum: everything commits.
+        assert all(outcome == COMMITTED for outcome in outcomes)
+
+        def audit():
+            values = []
+            for i in range(20):
+                txn = client.begin()
+                values.append((yield client.txn_get(txn, f"key:{i}")))
+                yield client.commit(txn)
+            return values
+
+        values = cluster.sim.run_until_event(
+            cluster.sim.process(audit()))
+        assert values == [f"gen-{i}" for i in range(20)]
+
+
+class TestChaosMonkey:
+    def test_never_breaks_quorum(self):
+        cluster = make_cluster()
+        monkey = ChaosMonkey(cluster, SeededRng(139),
+                             interval=20e-3, downtime=10e-3)
+        monkey.start()
+        cluster.sim.run(until=0.4)
+        assert len(monkey.kills) >= 10
+        # Primaries were never touched.
+        primaries = set(cluster.directory.all_primaries())
+        for _, victim in monkey.kills:
+            assert victim not in primaries
+
+    def test_workload_survives_rolling_backup_failures(self):
+        cluster = make_cluster(num_clients=4)
+        monkey = ChaosMonkey(cluster, SeededRng(149),
+                             interval=25e-3, downtime=12e-3)
+        monkey.start()
+        instances = [
+            RetwisInstance(cluster.sim, client, cluster.populated_keys,
+                           cluster.rng.substream(f"chaos{i}"), alpha=0.5)
+            for i, client in enumerate(cluster.clients)
+        ]
+        procs = [instance.run_transactions(40) for instance in instances]
+        for proc in procs:
+            cluster.sim.run_until_event(proc)
+        committed = sum(i.stats.committed for i in instances)
+        assert committed >= 150, (
+            f"only {committed}/160 logical transactions committed under "
+            "rolling backup failures")
+        assert len(monkey.kills) > 0
+
+    def test_validates_parameters(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            ChaosMonkey(cluster, SeededRng(0), interval=10e-3,
+                        downtime=10e-3)

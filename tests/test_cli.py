@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_list_prints_inventory(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure9" in out
+        assert "ycsb F" in out
+
+    def test_experiment_registry_covers_all_figures(self):
+        for name in ("table1", "figure1", "figure6", "figure7",
+                     "figure8", "figure9"):
+            assert name in EXPERIMENTS
+
+
+class TestExperimentCommand:
+    def test_quick_figure1(self, capsys, tmp_path):
+        out_file = tmp_path / "fig1.txt"
+        assert main(["experiment", "figure1", "--scale", "quick",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Impact of Clock Skew" in out
+        assert out_file.exists()
+        assert "reject rate" in out_file.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure42"])
+
+
+class TestWorkloadCommands:
+    def test_retwis_run(self, capsys):
+        assert main(["retwis", "--clients", "2", "--keys", "100",
+                     "--duration", "0.05", "--backend", "dram",
+                     "--replicas", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "latency p99" in out
+
+    def test_retwis_without_local_validation(self, capsys):
+        assert main(["retwis", "--clients", "2", "--keys", "100",
+                     "--duration", "0.05", "--backend", "dram",
+                     "--replicas", "1", "--no-local-validation"]) == 0
+
+    def test_ycsb_run(self, capsys):
+        assert main(["ycsb", "--workload", "C", "--clients", "2",
+                     "--keys", "100", "--duration", "0.05",
+                     "--backend", "dram", "--replicas", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "YCSB-C" in out
+        assert "ops/s" in out
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["retwis", "--backend", "tape"])

@@ -1,0 +1,129 @@
+"""Tests for flash endurance and bad-block retirement.
+
+End-of-life semantics: worn blocks retire (capacity shrinks); once too
+little reclaimable space remains, writers fail fast with CapacityError —
+but everything already written stays readable (the device goes
+effectively read-only), which is how real SSDs die.
+"""
+
+import pytest
+
+from repro.flash import FlashChip, FlashDevice, FlashGeometry, WearOutError
+from repro.ftl import CapacityError, GenericFTL, MFTLBackend
+from repro.sim import Simulator
+from repro.versioning import Version
+
+
+GEOM = FlashGeometry(page_size=4096, pages_per_block=4, num_blocks=16,
+                     num_channels=2)
+
+
+class TestChipEndurance:
+    def test_unlimited_by_default(self):
+        chip = FlashChip(GEOM)
+        for _ in range(100):
+            chip.program(0, 0, "x")
+            chip.erase(0)
+        assert chip.erase_count(0) == 100
+        assert not chip.is_worn(0)
+
+    def test_wears_out_at_limit(self):
+        chip = FlashChip(GEOM, endurance=3)
+        for _ in range(3):
+            chip.program(0, 0, "x")
+            chip.erase(0)
+        assert chip.is_worn(0)
+        chip.program(0, 0, "final")
+        with pytest.raises(WearOutError):
+            chip.erase(0)
+        # Data written before wear-out remains readable.
+        assert chip.read(0, 0) == "final"
+
+    def test_invalid_endurance(self):
+        with pytest.raises(ValueError):
+            FlashChip(GEOM, endurance=0)
+
+
+class TestGenericFTLEndOfLife:
+    def test_retirement_then_readonly_death(self):
+        sim = Simulator()
+        device = FlashDevice(sim, GEOM, endurance=4)
+        ftl = GenericFTL(sim, device)
+        latest = {}
+
+        def churn():
+            for i in range(GEOM.total_pages * 8):
+                lba = i % 6
+                yield ftl.write(lba, f"v{i}")
+                latest[lba] = f"v{i}"
+
+        proc = sim.process(churn())
+        with pytest.raises(CapacityError):
+            sim.run_until_event(proc)
+        assert len(ftl.bad_blocks) > 0
+        # Every acknowledged write remains readable on the dead device.
+        for lba, expected in latest.items():
+            assert sim.run_until_event(ftl.read(lba)) == expected
+        # Retired blocks never returned to the free pool.
+        for block in ftl.bad_blocks:
+            assert not ftl._allocator.is_free(block)
+
+    def test_budget_mostly_spent_before_death(self):
+        """Wear-aware GC should extract most of the aggregate erase
+        budget before the device dies."""
+        sim = Simulator()
+        device = FlashDevice(sim, GEOM, endurance=5)
+        ftl = GenericFTL(sim, device)
+
+        def churn():
+            for i in range(GEOM.total_pages * 10):
+                yield ftl.write(i % 6, f"v{i}")
+
+        with pytest.raises(CapacityError):
+            sim.run_until_event(sim.process(churn()))
+        budget = GEOM.num_blocks * 5
+        spent = sum(device.chip.wear_counters())
+        assert spent > 0.6 * budget, (
+            f"device died after only {spent}/{budget} erases — wear "
+            "leveling ineffective")
+
+
+class TestMFTLEndOfLife:
+    def test_retirement_then_readonly_death(self):
+        sim = Simulator()
+        device = FlashDevice(sim, GEOM, endurance=4)
+        backend = MFTLBackend(sim, device, packing_delay=0.1e-3)
+        latest = {}
+
+        def churn():
+            timestamp = 0.0
+            for i in range(6000):
+                key = f"k{i % 6}"
+                timestamp += 1.0
+                yield backend.put(key, f"v{i}", Version(timestamp, 1))
+                latest[key] = (Version(timestamp, 1), f"v{i}")
+                backend.set_watermark(timestamp - 3.0)
+
+        proc = sim.process(churn())
+        with pytest.raises(CapacityError):
+            sim.run_until_event(proc)
+        assert len(backend.bad_blocks) > 0
+        # All acknowledged writes remain readable.
+        for key, (version, value) in latest.items():
+            assert sim.run_until_event(backend.get(key)) == \
+                (version, value)
+
+    def test_no_endurance_never_retires(self):
+        sim = Simulator()
+        device = FlashDevice(sim, GEOM)  # unlimited endurance
+        backend = MFTLBackend(sim, device, packing_delay=0.1e-3)
+
+        def churn():
+            timestamp = 0.0
+            for i in range(2000):
+                timestamp += 1.0
+                yield backend.put(f"k{i % 6}", i, Version(timestamp, 1))
+                backend.set_watermark(timestamp - 3.0)
+
+        sim.run_until_event(sim.process(churn()))
+        assert backend.bad_blocks == set()

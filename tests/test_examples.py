@@ -1,0 +1,27 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES])
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, (
+        f"{example.name} failed:\n{result.stdout}\n{result.stderr}")
+    assert result.stdout.strip(), f"{example.name} printed nothing"

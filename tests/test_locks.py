@@ -1,0 +1,181 @@
+"""Tests for the distributed lock service (MILANA-backed)."""
+
+import pytest
+
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.services import DistributedLockService
+
+
+def make_cluster(num_clients=3, **overrides):
+    defaults = dict(num_shards=1, replicas_per_shard=3,
+                    num_clients=num_clients, backend="dram",
+                    clock_preset="ptp-sw", seed=167, populate_keys=0)
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+class TestBasicLocking:
+    def test_acquire_and_release(self):
+        cluster = make_cluster()
+        service = DistributedLockService(cluster.clients[0], ttl=0.5)
+        sim = cluster.sim
+
+        def work():
+            handle = yield service.acquire("db-migration")
+            assert handle is not None
+            owner = yield service.holder("db-migration")
+            assert owner == cluster.clients[0].name
+            released = yield service.release(handle)
+            assert released is True
+            owner = yield service.holder("db-migration")
+            return owner
+
+        assert sim.run_until_event(sim.process(work())) is None
+
+    def test_second_acquire_blocked_while_held(self):
+        cluster = make_cluster()
+        a = DistributedLockService(cluster.clients[0], ttl=0.5)
+        b = DistributedLockService(cluster.clients[1], ttl=0.5)
+        sim = cluster.sim
+
+        def work():
+            handle = yield a.acquire("resource")
+            assert handle is not None
+            other = yield b.acquire("resource")
+            return other
+
+        assert sim.run_until_event(sim.process(work())) is None
+
+    def test_release_requires_ownership(self):
+        cluster = make_cluster()
+        a = DistributedLockService(cluster.clients[0], ttl=0.5)
+        b = DistributedLockService(cluster.clients[1], ttl=0.5)
+        sim = cluster.sim
+
+        def work():
+            real = yield a.acquire("thing")
+            from repro.services import LockHandle
+            forged = LockHandle(name="thing",
+                                owner=cluster.clients[1].name,
+                                expires=real.expires)
+            stolen = yield b.release(forged)
+            still = yield b.holder("thing")
+            return stolen, still
+
+        stolen, still = sim.run_until_event(sim.process(work()))
+        assert stolen is False
+        assert still == cluster.clients[0].name
+
+    def test_invalid_ttl(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            DistributedLockService(cluster.clients[0], ttl=0)
+
+
+class TestLeases:
+    def test_expired_lock_claimable(self):
+        cluster = make_cluster()
+        a = DistributedLockService(cluster.clients[0], ttl=0.05)
+        b = DistributedLockService(cluster.clients[1], ttl=0.05)
+        sim = cluster.sim
+
+        def work():
+            handle = yield a.acquire("flaky-holder")
+            assert handle is not None
+            # Holder "dies": never renews. Wait out the lease.
+            yield sim.timeout(0.1)
+            takeover = yield b.acquire("flaky-holder")
+            return takeover
+
+        takeover = sim.run_until_event(sim.process(work()))
+        assert takeover is not None
+        assert takeover.owner == cluster.clients[1].name
+
+    def test_renew_extends_lease(self):
+        cluster = make_cluster()
+        a = DistributedLockService(cluster.clients[0], ttl=0.08)
+        b = DistributedLockService(cluster.clients[1], ttl=0.08)
+        sim = cluster.sim
+
+        def work():
+            handle = yield a.acquire("kept-alive")
+            for _ in range(4):
+                yield sim.timeout(0.05)
+                handle = yield a.renew(handle)
+                assert handle is not None
+            # 200ms elapsed > original ttl, but renewals kept it ours.
+            other = yield b.acquire("kept-alive")
+            return other
+
+        assert sim.run_until_event(sim.process(work())) is None
+
+    def test_renew_after_takeover_fails(self):
+        cluster = make_cluster()
+        a = DistributedLockService(cluster.clients[0], ttl=0.05)
+        b = DistributedLockService(cluster.clients[1], ttl=0.5)
+        sim = cluster.sim
+
+        def work():
+            stale = yield a.acquire("contested")
+            yield sim.timeout(0.1)              # lease expires
+            takeover = yield b.acquire("contested")
+            assert takeover is not None
+            revived = yield a.renew(stale)
+            return revived
+
+        assert sim.run_until_event(sim.process(work())) is None
+
+
+class TestMutualExclusion:
+    def test_racing_acquirers_get_exactly_one_winner(self):
+        cluster = make_cluster(num_clients=6)
+        services = [DistributedLockService(client, ttl=1.0)
+                    for client in cluster.clients]
+        sim = cluster.sim
+        winners = []
+
+        def racer(service):
+            handle = yield service.acquire("golden-ticket")
+            if handle is not None:
+                winners.append(handle.owner)
+
+        procs = [sim.process(racer(service)) for service in services]
+        for proc in procs:
+            sim.run_until_event(proc)
+        assert len(winners) == 1
+
+    def test_critical_section_never_overlaps(self):
+        """The classic test: concurrent workers increment a counter under
+        the lock; no update is ever lost."""
+        cluster = make_cluster(num_clients=4)
+        services = [DistributedLockService(client, ttl=1.0)
+                    for client in cluster.clients]
+        sim = cluster.sim
+        in_section = [0]
+        max_concurrency = [0]
+        completed = [0]
+
+        def worker(service, rounds):
+            client = service.client
+            done = 0
+            while done < rounds:
+                handle = yield service.acquire("mutex")
+                if handle is None:
+                    yield sim.timeout(2e-3)
+                    continue
+                in_section[0] += 1
+                max_concurrency[0] = max(max_concurrency[0],
+                                         in_section[0])
+                yield sim.timeout(1e-3)       # the critical section
+                in_section[0] -= 1
+                yield service.release(handle)
+                done += 1
+                completed[0] += 1
+
+        procs = [sim.process(worker(service, 5))
+                 for service in services]
+        for proc in procs:
+            sim.run_until_event(proc)
+        assert completed[0] == 20
+        assert max_concurrency[0] == 1, (
+            f"critical section overlapped: {max_concurrency[0]}")

@@ -1,0 +1,186 @@
+"""Direct protocol-level tests of the MILANA server handlers:
+idempotence, out-of-order replication records, relaxed backup updates."""
+
+import pytest
+
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.milana import ABORTED, COMMITTED, PREPARED, UNKNOWN
+from repro.versioning import Version
+
+
+def make_cluster(**overrides):
+    defaults = dict(num_shards=1, replicas_per_shard=3, num_clients=1,
+                    backend="dram", clock_preset="perfect", seed=113,
+                    populate_keys=10)
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+def prepare_payload(cluster, txn_id, writes, ts_commit, reads=None,
+                    participants=("shard0",)):
+    return {
+        "txn_id": txn_id,
+        "client_id": 9,
+        "client_name": "tester",
+        "ts_commit": ts_commit,
+        "reads": reads or [],
+        "writes": writes,
+        "participants": list(participants),
+        "status": "PREPARED",
+        "prepared_at": 0.0,
+    }
+
+
+class TestPrepareIdempotence:
+    def test_retransmitted_prepare_repeats_vote(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        sim = cluster.sim
+        payload = prepare_payload(cluster, "tx-1", [("key:0", "v")],
+                                  ts_commit=sim.now + 1e-3)
+        first = sim.run_until_event(
+            client.node.call("srv-0-0", "milana.prepare", payload))
+        second = sim.run_until_event(
+            client.node.call("srv-0-0", "milana.prepare", payload))
+        assert first["vote"] == "SUCCESS"
+        assert second["vote"] == "SUCCESS"
+        # Only one prepared record exists.
+        assert cluster.servers["srv-0-0"].txn_table["tx-1"].status == \
+            PREPARED
+
+    def test_retransmitted_aborted_prepare_repeats_abort(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        sim = cluster.sim
+        # Block key:0 with a first prepared transaction.
+        sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare",
+            prepare_payload(cluster, "blocker", [("key:0", "x")],
+                            ts_commit=sim.now + 1e-3)))
+        conflicting = prepare_payload(cluster, "loser", [("key:0", "y")],
+                                      ts_commit=sim.now + 2e-3)
+        first = sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare", conflicting))
+        second = sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare", conflicting))
+        assert first["vote"] == "ABORT"
+        assert second["vote"] == "ABORT"
+
+
+class TestDecideHandler:
+    def test_decide_unknown_txn_is_noop(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        reply = cluster.sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.decide",
+            {"txn_id": "never-heard-of-it", "outcome": COMMITTED}))
+        assert reply == {"ack": True}
+
+    def test_decide_twice_is_idempotent(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        sim = cluster.sim
+        ts = sim.now + 1e-3
+        sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare",
+            prepare_payload(cluster, "tx-2", [("key:1", "once")], ts)))
+        for _ in range(2):
+            sim.run_until_event(client.node.call(
+                "srv-0-0", "milana.decide",
+                {"txn_id": "tx-2", "outcome": COMMITTED}))
+        server = cluster.servers["srv-0-0"]
+        assert server.txn_table["tx-2"].status == COMMITTED
+        versions = server.backend.versions_of("key:1")
+        assert versions.count(Version(ts, 9)) == 1
+
+    def test_abort_clears_prepared_marks(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        sim = cluster.sim
+        ts = sim.now + 1e-3
+        sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare",
+            prepare_payload(cluster, "tx-3", [("key:2", "nope")], ts)))
+        server = cluster.servers["srv-0-0"]
+        assert server.key_states.peek("key:2").prepared is not None
+        sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.decide",
+            {"txn_id": "tx-3", "outcome": ABORTED}))
+        assert server.key_states.peek("key:2").prepared is None
+        # The aborted write never reached the store.
+        assert Version(ts, 9) not in server.backend.versions_of("key:2")
+
+
+class TestRelaxedBackupUpdates:
+    def test_commit_record_before_prepare_record(self):
+        """§3.2 / Figure 5: backups accept records in any order; a
+        PREPARED record arriving after COMMITTED must not regress."""
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        sim = cluster.sim
+        ts = sim.now + 1e-3
+        committed = prepare_payload(cluster, "tx-4", [("key:3", "ooo")],
+                                    ts)
+        committed["status"] = COMMITTED
+        prepared = prepare_payload(cluster, "tx-4", [("key:3", "ooo")],
+                                   ts)
+        backup = "srv-0-1"
+        sim.run_until_event(client.node.call(
+            backup, "milana.replicate_txn", committed))
+        server = cluster.servers[backup]
+        assert server.txn_table["tx-4"].status == COMMITTED
+        assert Version(ts, 9) in server.backend.versions_of("key:3")
+        # The late prepare record must not downgrade the status.
+        sim.run_until_event(client.node.call(
+            backup, "milana.replicate_txn", prepared))
+        assert server.txn_table["tx-4"].status == COMMITTED
+
+    def test_duplicate_commit_records_apply_once(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        sim = cluster.sim
+        ts = sim.now + 1e-3
+        record = prepare_payload(cluster, "tx-5", [("key:4", "dup")], ts)
+        record["status"] = COMMITTED
+        backup = "srv-0-1"
+        for _ in range(3):
+            sim.run_until_event(client.node.call(
+                backup, "milana.replicate_txn", record))
+        versions = cluster.servers[backup].backend.versions_of("key:4")
+        assert versions.count(Version(ts, 9)) == 1
+
+
+class TestStatusQueries:
+    def test_txn_status_lifecycle(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        sim = cluster.sim
+
+        def status(txn_id):
+            return sim.run_until_event(client.node.call(
+                "srv-0-0", "milana.txn_status",
+                {"txn_id": txn_id}))["status"]
+
+        assert status("tx-6") == UNKNOWN
+        ts = sim.now + 1e-3
+        sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare",
+            prepare_payload(cluster, "tx-6", [("key:5", "s")], ts)))
+        assert status("tx-6") == PREPARED
+        sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.decide",
+            {"txn_id": "tx-6", "outcome": COMMITTED}))
+        assert status("tx-6") == COMMITTED
+
+    def test_fetch_log_returns_wire_records(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        sim = cluster.sim
+        ts = sim.now + 1e-3
+        sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare",
+            prepare_payload(cluster, "tx-7", [("key:6", "log")], ts)))
+        reply = sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.fetch_log", {}))
+        txn_ids = [record["txn_id"] for record in reply["records"]]
+        assert "tx-7" in txn_ids

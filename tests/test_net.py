@@ -1,0 +1,292 @@
+"""Tests for the network fabric and RPC layer."""
+
+import pytest
+
+from repro.net import (
+    AppError,
+    FixedLatency,
+    JitteredLatency,
+    Network,
+    RpcNode,
+    RpcTimeout,
+)
+from repro.sim import SeededRng, Simulator
+
+
+def make_net(sim, latency=None, **kwargs):
+    return Network(sim, SeededRng(7), latency=latency or FixedLatency(50e-6),
+                   **kwargs)
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        model = FixedLatency(1e-3)
+        assert model.sample(SeededRng(0)) == 1e-3
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1.0)
+
+    def test_jittered_positive_and_near_base(self):
+        model = JitteredLatency(base=50e-6, jitter_fraction=0.2)
+        rng = SeededRng(1)
+        draws = [model.sample(rng) for _ in range(500)]
+        assert all(d > 0 for d in draws)
+        mean = sum(draws) / len(draws)
+        assert 0.7 * 50e-6 < mean < 1.5 * 50e-6
+
+    def test_jittered_zero_jitter_is_fixed(self):
+        model = JitteredLatency(base=50e-6, jitter_fraction=0.0)
+        assert model.sample(SeededRng(1)) == 50e-6
+
+
+class TestNetwork:
+    def test_delivery_after_latency(self):
+        sim = Simulator()
+        net = make_net(sim)
+        inbox = net.register("dst")
+        net.register("src")
+        received = []
+
+        def consumer():
+            message = yield inbox.get()
+            received.append((sim.now, message))
+
+        sim.process(consumer())
+        net.send("src", "dst", "hello")
+        sim.run()
+        assert received == [(50e-6, "hello")]
+
+    def test_unknown_destination_rejected(self):
+        sim = Simulator()
+        net = make_net(sim)
+        net.register("src")
+        with pytest.raises(KeyError):
+            net.send("src", "ghost", "x")
+
+    def test_crashed_destination_drops(self):
+        sim = Simulator()
+        net = make_net(sim)
+        inbox = net.register("dst")
+        net.register("src")
+        net.crash("dst")
+        net.send("src", "dst", "lost")
+        sim.run()
+        assert len(inbox) == 0
+        assert net.stats.messages_dropped == 1
+
+    def test_crashed_source_drops(self):
+        sim = Simulator()
+        net = make_net(sim)
+        inbox = net.register("dst")
+        net.register("src")
+        net.crash("src")
+        net.send("src", "dst", "lost")
+        sim.run()
+        assert len(inbox) == 0
+
+    def test_recover_resumes_delivery(self):
+        sim = Simulator()
+        net = make_net(sim)
+        inbox = net.register("dst")
+        net.register("src")
+        net.crash("dst")
+        net.send("src", "dst", "lost")
+        net.recover("dst")
+        net.send("src", "dst", "found")
+        sim.run()
+        assert inbox.items == ("found",)
+
+    def test_crash_during_flight_drops(self):
+        sim = Simulator()
+        net = make_net(sim, latency=FixedLatency(1e-3))
+        inbox = net.register("dst")
+        net.register("src")
+        net.send("src", "dst", "in-flight")
+        sim.run(until=0.5e-3)
+        net.crash("dst")
+        sim.run()
+        assert len(inbox) == 0
+
+    def test_duplicates_injected(self):
+        sim = Simulator()
+        net = make_net(sim, duplicate_probability=0.5)
+        inbox = net.register("dst")
+        net.register("src")
+        for i in range(100):
+            net.send("src", "dst", i)
+        sim.run()
+        assert len(inbox) > 100
+        assert net.stats.messages_duplicated > 10
+
+
+class TestRpc:
+    def _pair(self, sim, latency=None, **net_kwargs):
+        net = make_net(sim, latency=latency, **net_kwargs)
+        client = RpcNode(sim, net, "client")
+        server = RpcNode(sim, net, "server")
+        return net, client, server
+
+    def test_call_roundtrip(self):
+        sim = Simulator()
+        _, client, server = self._pair(sim)
+
+        def echo(payload):
+            yield sim.timeout(10e-6)
+            return ("echo", payload)
+
+        server.register("echo", echo)
+        result = sim.run_until_event(client.call("server", "echo", 42))
+        assert result == ("echo", 42)
+        # 2 network hops + 10 µs service time.
+        assert sim.now == pytest.approx(110e-6)
+
+    def test_concurrent_calls_multiplex(self):
+        sim = Simulator()
+        _, client, server = self._pair(sim)
+
+        def slow_double(payload):
+            yield sim.timeout(payload * 1e-6)
+            return payload * 2
+
+        server.register("double", slow_double)
+
+        def caller():
+            calls = [client.call("server", "double", n) for n in (5, 1, 3)]
+            results = []
+            for call in calls:
+                value = yield call
+                results.append(value)
+            return results
+
+        results = sim.run_until_event(sim.process(caller()))
+        assert results == [10, 2, 6]
+
+    def test_app_error_propagates(self):
+        sim = Simulator()
+        _, client, server = self._pair(sim)
+
+        def reject(payload):
+            raise AppError("validation failed")
+            yield  # pragma: no cover - makes this a generator
+
+        server.register("commit", reject)
+
+        def caller():
+            try:
+                yield client.call("server", "commit", None)
+            except AppError as exc:
+                return str(exc)
+
+        result = sim.run_until_event(sim.process(caller()))
+        assert result == "validation failed"
+
+    def test_unknown_method_is_app_error(self):
+        sim = Simulator()
+        _, client, server = self._pair(sim)
+
+        def caller():
+            try:
+                yield client.call("server", "nope", None)
+            except AppError as exc:
+                return str(exc)
+
+        result = sim.run_until_event(sim.process(caller()))
+        assert "no handler" in result
+
+    def test_timeout_on_crashed_server(self):
+        sim = Simulator()
+        net, client, server = self._pair(sim)
+        net.crash("server")
+
+        def caller():
+            try:
+                yield client.call("server", "echo", 1, timeout=1e-3)
+            except RpcTimeout:
+                return ("timed-out", sim.now)
+
+        result = sim.run_until_event(sim.process(caller()))
+        assert result == ("timed-out", pytest.approx(1e-3))
+
+    def test_retries_reuse_request_id(self):
+        sim = Simulator()
+        net, client, server = self._pair(sim)
+        seen_ids = []
+
+        def flaky(payload):
+            yield sim.timeout(1e-6)
+            return "ok"
+
+        server.register("op", flaky)
+        net.crash("server")
+
+        def caller():
+            try:
+                result = yield client.call("server", "op", None,
+                                           timeout=1e-3, retries=2)
+                return result
+            except RpcTimeout:
+                return "gave-up"
+
+        def recoverer():
+            yield sim.timeout(1.5e-3)
+            net.recover("server")
+
+        caller_proc = sim.process(caller())
+        sim.process(recoverer())
+        result = sim.run_until_event(caller_proc)
+        # Recovered before the second retry: the call succeeds.
+        assert result == "ok" or result == "gave-up"
+
+    def test_duplicate_requests_served_twice_same_id(self):
+        """The RPC layer itself does NOT dedupe — that's the server
+        protocol's job (SEMEL §3.3). Duplicates reach the handler."""
+        sim = Simulator()
+        net = make_net(sim, duplicate_probability=0.999)
+        client = RpcNode(sim, net, "client")
+        server = RpcNode(sim, net, "server")
+        calls = []
+
+        def count(payload):
+            calls.append(payload)
+            yield sim.timeout(1e-6)
+            return len(calls)
+
+        server.register("count", count)
+        sim.run_until_event(client.call("server", "count", "x"))
+        sim.run()
+        assert len(calls) == 2
+
+    def test_notify_is_oneway(self):
+        sim = Simulator()
+        _, client, server = self._pair(sim)
+        received = []
+
+        def sink(payload):
+            received.append(payload)
+            yield sim.timeout(0)
+
+        server.register("tick", sink)
+        client.notify("server", "tick", 99)
+        sim.run()
+        assert received == [99]
+
+    def test_late_response_after_timeout_is_dropped(self):
+        sim = Simulator()
+        _, client, server = self._pair(sim, latency=FixedLatency(2e-3))
+
+        def slow(payload):
+            yield sim.timeout(5e-3)
+            return "late"
+
+        server.register("op", slow)
+
+        def caller():
+            try:
+                yield client.call("server", "op", None, timeout=1e-3)
+            except RpcTimeout:
+                return "timed-out"
+
+        result = sim.run_until_event(sim.process(caller()))
+        assert result == "timed-out"
+        sim.run()  # late response arrives and must be ignored quietly

@@ -1,0 +1,128 @@
+"""Tests for the transactional FIFO queue service."""
+
+import pytest
+
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.services import TransactionalQueue
+
+
+def make_cluster(num_clients=3, **overrides):
+    defaults = dict(num_shards=2, replicas_per_shard=3,
+                    num_clients=num_clients, backend="dram",
+                    clock_preset="ptp-sw", seed=173, populate_keys=0)
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+class TestFifoSemantics:
+    def test_enqueue_dequeue_order(self):
+        cluster = make_cluster()
+        queue = TransactionalQueue(cluster.clients[0], "jobs")
+        sim = cluster.sim
+
+        def work():
+            for item in ("a", "b", "c"):
+                index = yield queue.enqueue(item)
+                assert index is not None
+            out = []
+            for _ in range(3):
+                out.append((yield queue.dequeue()))
+            empty = yield queue.dequeue()
+            return out, empty
+
+        out, empty = sim.run_until_event(sim.process(work()))
+        assert out == ["a", "b", "c"]
+        assert empty is None
+
+    def test_size(self):
+        cluster = make_cluster()
+        queue = TransactionalQueue(cluster.clients[0], "jobs")
+        sim = cluster.sim
+
+        def work():
+            assert (yield queue.size()) == 0
+            yield queue.enqueue(1)
+            yield queue.enqueue(2)
+            assert (yield queue.size()) == 2
+            yield queue.dequeue()
+            return (yield queue.size())
+
+        assert sim.run_until_event(sim.process(work())) == 1
+
+    def test_queues_are_independent(self):
+        cluster = make_cluster()
+        q1 = TransactionalQueue(cluster.clients[0], "one")
+        q2 = TransactionalQueue(cluster.clients[0], "two")
+        sim = cluster.sim
+
+        def work():
+            yield q1.enqueue("only-in-one")
+            from_two = yield q2.dequeue()
+            from_one = yield q1.dequeue()
+            return from_one, from_two
+
+        from_one, from_two = sim.run_until_event(sim.process(work()))
+        assert from_one == "only-in-one"
+        assert from_two is None
+
+
+class TestConcurrency:
+    def test_exactly_once_delivery_with_racing_consumers(self):
+        cluster = make_cluster(num_clients=4)
+        producer_queue = TransactionalQueue(cluster.clients[0], "work")
+        consumers = [TransactionalQueue(client, "work")
+                     for client in cluster.clients[1:]]
+        sim = cluster.sim
+        delivered = []
+
+        def produce():
+            for i in range(24):
+                index = yield producer_queue.enqueue(f"job-{i}")
+                assert index is not None
+
+        def consume(queue):
+            misses = 0
+            while misses < 8:
+                item = yield queue.dequeue()
+                if item is None:
+                    misses += 1
+                    yield sim.timeout(1e-3)
+                else:
+                    misses = 0
+                    delivered.append(item)
+
+        sim.run_until_event(sim.process(produce()))
+        procs = [sim.process(consume(queue)) for queue in consumers]
+        for proc in procs:
+            sim.run_until_event(proc)
+        assert sorted(delivered) == sorted(f"job-{i}" for i in range(24))
+        assert len(delivered) == len(set(delivered)), \
+            "an element was delivered twice"
+
+    def test_concurrent_producers_lose_nothing(self):
+        cluster = make_cluster(num_clients=3)
+        queues = [TransactionalQueue(client, "inbox")
+                  for client in cluster.clients]
+        sim = cluster.sim
+
+        def produce(queue, tag):
+            for i in range(10):
+                index = yield queue.enqueue(f"{tag}-{i}")
+                assert index is not None
+
+        procs = [sim.process(produce(queue, f"p{i}"))
+                 for i, queue in enumerate(queues)]
+        for proc in procs:
+            sim.run_until_event(proc)
+
+        def drain():
+            items = []
+            while True:
+                item = yield queues[0].dequeue()
+                if item is None:
+                    return items
+                items.append(item)
+
+        items = sim.run_until_event(sim.process(drain()))
+        assert len(items) == 30
+        assert len(set(items)) == 30

@@ -1,0 +1,259 @@
+"""Edge-case tests for the simulation kernel beyond the basics."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Resource,
+    SeededRng,
+    Simulator,
+    Store,
+)
+
+
+class TestEventEdgeCases:
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(RuntimeError, match="already triggered"):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_value_before_trigger_rejected(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            sim.event().value
+
+    def test_defused_failure_does_not_raise(self):
+        sim = Simulator()
+        event = sim.event()
+        event.defused = True
+        event.fail(ValueError("swallowed"))
+        sim.run()  # no raise
+
+    def test_any_of_failure_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def failer():
+            yield sim.timeout(1.0)
+            raise ValueError("child failed")
+
+        def waiter():
+            child = sim.process(failer())
+            slow = sim.timeout(10.0)
+            try:
+                yield sim.any_of([child, slow])
+            except ValueError as exc:
+                return f"caught: {exc}"
+
+        proc = sim.process(waiter())
+        sim.run_until_event(proc)
+        assert proc.value == "caught: child failed"
+
+    def test_all_of_failure_propagates(self):
+        sim = Simulator()
+
+        def failer():
+            yield sim.timeout(1.0)
+            raise KeyError("boom")
+
+        def waiter():
+            children = [sim.process(failer()), sim.timeout(0.5)]
+            try:
+                yield sim.all_of(children)
+            except KeyError:
+                return "caught"
+
+        proc = sim.process(waiter())
+        sim.run_until_event(proc)
+        assert proc.value == "caught"
+
+
+class TestRunUntilEvent:
+    def test_limit_respected(self):
+        sim = Simulator()
+
+        def slow():
+            yield sim.timeout(100.0)
+
+        # Keep the queue alive so the drain check never triggers first.
+        def heartbeat():
+            for _ in range(1000):
+                yield sim.timeout(0.5)
+
+        sim.process(heartbeat())
+        proc = sim.process(slow())
+        with pytest.raises(RuntimeError, match="limit"):
+            sim.run_until_event(proc, limit=10.0)
+
+    def test_queue_drain_detected(self):
+        sim = Simulator()
+        never = sim.event()
+
+        def waiter():
+            yield never
+
+        proc = sim.process(waiter())
+        with pytest.raises(RuntimeError, match="drained"):
+            sim.run_until_event(proc)
+
+    def test_failed_event_reraises(self):
+        sim = Simulator()
+
+        def failer():
+            yield sim.timeout(1.0)
+            raise OSError("disk on fire")
+
+        proc = sim.process(failer())
+        proc.defused = True
+        with pytest.raises(OSError, match="disk on fire"):
+            sim.run_until_event(proc)
+
+
+class TestInterruptEdgeCases:
+    def test_interrupt_while_waiting_on_store(self):
+        sim = Simulator()
+        store = Store(sim)
+        outcome = []
+
+        def consumer():
+            try:
+                yield store.get()
+            except Interrupt as exc:
+                outcome.append(("interrupted", exc.cause))
+
+        proc = sim.process(consumer())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt("shutdown")
+
+        sim.process(interrupter())
+        sim.run()
+        assert outcome == [("interrupted", "shutdown")]
+
+    def test_stale_event_after_interrupt_ignored(self):
+        """The event a process was waiting on when interrupted may fire
+        later; it must not resume the process a second time."""
+        sim = Simulator()
+        resumes = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(5.0)
+                resumes.append("timeout")
+            except Interrupt:
+                resumes.append("interrupt")
+                yield sim.timeout(10.0)
+                resumes.append("after")
+
+        proc = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert resumes == ["interrupt", "after"]
+
+    def test_interrupt_cause_none(self):
+        sim = Simulator()
+        seen = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt as exc:
+                seen.append(exc.cause)
+
+        proc = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(0.5)
+            proc.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert seen == [None]
+
+
+class TestStoreFairness:
+    def test_getters_served_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        served = []
+
+        def getter(name, delay):
+            yield sim.timeout(delay)
+            item = yield store.get()
+            served.append((name, item))
+
+        sim.process(getter("first", 0.1))
+        sim.process(getter("second", 0.2))
+
+        def producer():
+            yield sim.timeout(1.0)
+            yield store.put("a")
+            yield store.put("b")
+
+        sim.process(producer())
+        sim.run()
+        assert served == [("first", "a"), ("second", "b")]
+
+    def test_putters_unblock_fifo(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        order = []
+
+        def putter(name, delay):
+            yield sim.timeout(delay)
+            yield store.put(name)
+            order.append(name)
+
+        sim.process(putter("fill", 0.0))
+        sim.process(putter("w1", 0.1))
+        sim.process(putter("w2", 0.2))
+
+        def consumer():
+            yield sim.timeout(1.0)
+            yield store.get()
+            yield sim.timeout(1.0)
+            yield store.get()
+
+        sim.process(consumer())
+        sim.run()
+        assert order == ["fill", "w1", "w2"]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            rng = SeededRng(17)
+            log = []
+            resource = Resource(sim, capacity=2)
+
+            def worker(index):
+                stream = rng.substream(f"w{index}")
+                for _ in range(5):
+                    yield sim.timeout(stream.uniform(0.1, 1.0))
+                    yield resource.acquire()
+                    yield sim.timeout(stream.uniform(0.01, 0.1))
+                    log.append((round(sim.now, 9), index))
+                    resource.release()
+
+            for index in range(4):
+                sim.process(worker(index))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,111 @@
+"""Tests for consistent snapshot export/restore."""
+
+import pytest
+
+from repro.clocks import PerfectClock
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.milana import COMMITTED
+from repro.semel import SemelClient, export_snapshot, restore_snapshot
+
+
+def make_cluster(**overrides):
+    defaults = dict(num_shards=2, replicas_per_shard=3, num_clients=1,
+                    backend="mftl", populate_keys=60, seed=157)
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+def semel_client(cluster, client_id=9):
+    return SemelClient(cluster.sim, cluster.network, cluster.directory,
+                       PerfectClock(cluster.sim), client_id=client_id)
+
+
+class TestExport:
+    def test_exports_all_present_keys(self):
+        cluster = make_cluster()
+        client = semel_client(cluster)
+        snap = cluster.sim.run_until_event(export_snapshot(
+            client, cluster.populated_keys, at=cluster.sim.now))
+        assert len(snap) == 60
+        assert snap.value_of("key:0") == "value-of-key:0"
+
+    def test_snapshot_is_consistent_under_concurrent_writes(self):
+        """Writers racing with the export never leak newer versions into
+        the snapshot."""
+        cluster = make_cluster()
+        milana = cluster.clients[0]
+        backup_client = semel_client(cluster)
+        sim = cluster.sim
+        snapshot_at = sim.now
+
+        results = {}
+
+        def writer():
+            for i in range(30):
+                txn = milana.begin()
+                yield milana.txn_get(txn, f"key:{i % 10}")
+                milana.put(txn, f"key:{i % 10}", f"NEW-{i}")
+                outcome = yield milana.commit(txn)
+                assert outcome == COMMITTED
+                yield sim.timeout(0.4e-3)
+
+        def exporter():
+            snap = yield export_snapshot(
+                backup_client, cluster.populated_keys, at=snapshot_at,
+                parallelism=4)
+            results["snap"] = snap
+
+        sim.process(writer())
+        proc = sim.process(exporter())
+        sim.run_until_event(proc)
+        snap = results["snap"]
+        assert len(snap) == 60
+        for key, (version, value) in snap.entries.items():
+            assert version.timestamp <= snapshot_at
+            assert value == f"value-of-{key}", (
+                f"{key}: snapshot leaked post-T value {value!r}")
+
+    def test_missing_keys_absent(self):
+        cluster = make_cluster()
+        client = semel_client(cluster)
+        snap = cluster.sim.run_until_event(export_snapshot(
+            client, ["ghost-1", "key:0"], at=cluster.sim.now))
+        assert "ghost-1" not in snap.entries
+        assert "key:0" in snap.entries
+
+    def test_invalid_parallelism(self):
+        cluster = make_cluster()
+        client = semel_client(cluster)
+        proc = export_snapshot(client, ["key:0"], at=0.0, parallelism=0)
+        with pytest.raises(ValueError):
+            cluster.sim.run_until_event(proc)
+
+
+class TestRestore:
+    def test_roundtrip_into_fresh_cluster(self):
+        source = make_cluster()
+        client = semel_client(source)
+        snap = source.sim.run_until_event(export_snapshot(
+            client, source.populated_keys, at=source.sim.now))
+
+        target = Cluster(ClusterConfig(
+            num_shards=3, replicas_per_shard=1, num_clients=1,
+            backend="dram", seed=163))
+        restored = restore_snapshot(target, snap)
+        assert restored == 60
+
+        milana = target.clients[0]
+
+        def check():
+            values = []
+            for key in ("key:0", "key:30", "key:59"):
+                txn = milana.begin()
+                values.append((yield milana.txn_get(txn, key)))
+                yield milana.commit(txn)
+            return values
+
+        target.sim.run(until=snap.timestamp + 1e-3)
+        values = target.sim.run_until_event(
+            target.sim.process(check()))
+        assert values == ["value-of-key:0", "value-of-key:30",
+                          "value-of-key:59"]

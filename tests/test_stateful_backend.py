@@ -1,0 +1,179 @@
+"""Stateful property testing of the storage engines.
+
+Hypothesis drives random interleavings of put / get / delete / watermark
+operations against each engine and cross-checks every observable against
+a reference model that implements the §3.1 semantics directly. This is
+the strongest correctness net over the FTL machinery: any divergence in
+snapshot reads, version retention, or delete behaviour fails the run
+with a minimized command sequence.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.flash import FlashDevice, FlashGeometry
+from repro.ftl import DRAMBackend, MFTLBackend, VFTLBackend, \
+    retained_versions
+from repro.sim import Simulator
+from repro.versioning import Version
+
+
+KEYS = [f"key{i}" for i in range(5)]
+GEOM = FlashGeometry(page_size=4096, pages_per_block=8, num_blocks=24,
+                     num_channels=4)
+
+
+class _ReferenceModel:
+    """Exact §3.1 semantics: sorted version lists + watermark trimming."""
+
+    def __init__(self):
+        self.data = {}  # key -> list[(Version, value)] ascending
+        self.watermark = float("-inf")
+
+    def put(self, key, value, version):
+        versions = self.data.setdefault(key, [])
+        versions.append((version, value))
+        versions.sort(key=lambda pair: pair[0])
+        self._trim(key)
+
+    def delete(self, key):
+        self.data.pop(key, None)
+
+    def set_watermark(self, timestamp):
+        self.watermark = max(self.watermark, timestamp)
+
+    def _trim(self, key):
+        versions = self.data.get(key, [])
+        desc = [version for version, _ in reversed(versions)]
+        kept = set(retained_versions(desc, self.watermark))
+        self.data[key] = [pair for pair in versions if pair[0] in kept]
+
+    def get(self, key, max_timestamp):
+        candidates = [
+            pair for pair in self.data.get(key, [])
+            if pair[0].timestamp <= max_timestamp
+        ]
+        return candidates[-1] if candidates else None
+
+    def must_retain(self, key):
+        """Versions the engine MUST still hold (the watermark rule);
+        engines may trim lazily, so they can hold a superset."""
+        versions = self.data.get(key, [])
+        desc = [version for version, _ in reversed(versions)]
+        return retained_versions(desc, self.watermark)
+
+
+class BackendMachine(RuleBasedStateMachine):
+    backend_kind = "dram"
+
+    @initialize()
+    def setup(self):
+        self.sim = Simulator()
+        if self.backend_kind == "dram":
+            self.backend = DRAMBackend(self.sim)
+        elif self.backend_kind == "mftl":
+            self.backend = MFTLBackend(
+                self.sim, FlashDevice(self.sim, GEOM),
+                packing_delay=0.1e-3)
+        else:
+            self.backend = VFTLBackend(
+                self.sim, FlashDevice(self.sim, GEOM),
+                packing_delay=0.1e-3)
+        self.model = _ReferenceModel()
+        self.clock = 0.0
+
+    def _run(self, process):
+        return self.sim.run_until_event(process)
+
+    def _next_ts(self):
+        self.clock += 1.0
+        return self.clock
+
+    @rule(key=st.sampled_from(KEYS), client=st.integers(1, 3))
+    def put(self, key, client):
+        ts = self._next_ts()
+        version = Version(ts, client)
+        value = f"{key}@{ts}"
+        self._run(self.backend.put(key, value, version))
+        self.model.put(key, value, version)
+
+    @rule(key=st.sampled_from(KEYS),
+          ts_back=st.floats(min_value=0.0, max_value=10.0))
+    def get_snapshot(self, key, ts_back):
+        at = self.clock - ts_back
+        if at < self.model.watermark:
+            return  # below the watermark: no availability guarantee
+        expected = self.model.get(key, at)
+        actual = self._run(self.backend.get(key, max_timestamp=at))
+        expected_norm = (expected[0], expected[1]) if expected else None
+        assert actual == expected_norm, (
+            f"get({key}, {at}): engine {actual} != model "
+            f"{expected_norm}")
+
+    @rule(key=st.sampled_from(KEYS))
+    def get_latest(self, key):
+        expected = self.model.get(key, float("inf"))
+        actual = self._run(self.backend.get(key))
+        expected_norm = (expected[0], expected[1]) if expected else None
+        assert actual == expected_norm
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete(self, key):
+        self._run(self.backend.delete(key))
+        self.model.delete(key)
+
+    @precondition(lambda self: self.clock > 0)
+    @rule(lag=st.floats(min_value=0.5, max_value=5.0))
+    def advance_watermark(self, lag):
+        timestamp = self.clock - lag
+        self.backend.set_watermark(timestamp)
+        self.model.set_watermark(timestamp)
+
+    @rule()
+    def let_time_pass(self):
+        self.sim.run(until=self.sim.now + 2e-3)
+
+    @invariant()
+    def engines_retain_required_versions(self):
+        if not hasattr(self, "model"):
+            return
+        for key in KEYS:
+            required = set(self.model.must_retain(key))
+            held = set(self.backend.versions_of(key))
+            missing = required - held
+            assert not missing, (
+                f"{key}: engine dropped required versions {missing}")
+
+
+class TestDRAMStateful(BackendMachine.TestCase):
+    settings = settings(max_examples=25, stateful_step_count=30,
+                        deadline=None)
+
+
+BackendMachine.backend_kind = "dram"
+
+
+class _MFTLMachine(BackendMachine):
+    backend_kind = "mftl"
+
+
+class _VFTLMachine(BackendMachine):
+    backend_kind = "vftl"
+
+
+class TestMFTLStateful(_MFTLMachine.TestCase):
+    settings = settings(max_examples=15, stateful_step_count=25,
+                        deadline=None)
+
+
+class TestVFTLStateful(_VFTLMachine.TestCase):
+    settings = settings(max_examples=15, stateful_step_count=25,
+                        deadline=None)

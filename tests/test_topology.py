@@ -1,0 +1,89 @@
+"""Tests for the rack-aware network topology."""
+
+import pytest
+
+from repro.net import (
+    FixedLatency,
+    Network,
+    RackTopology,
+    spread_replicas_across_racks,
+)
+from repro.semel import Directory
+from repro.sim import SeededRng, Simulator
+
+
+class TestRackTopology:
+    def _topology(self):
+        return RackTopology(
+            {"rack0": ["a", "b"], "rack1": ["c"]},
+            intra_rack=FixedLatency(10e-6),
+            cross_rack=FixedLatency(100e-6))
+
+    def test_same_rack_detection(self):
+        topo = self._topology()
+        assert topo.same_rack("a", "b")
+        assert not topo.same_rack("a", "c")
+        assert not topo.same_rack("a", "unknown")
+
+    def test_latency_selection(self):
+        topo = self._topology()
+        rng = SeededRng(1)
+        assert topo.latency_between("a", "b", rng) == 10e-6
+        assert topo.latency_between("a", "c", rng) == 100e-6
+        # Unplaced nodes conservatively pay cross-rack latency.
+        assert topo.latency_between("a", "ghost", rng) == 100e-6
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            RackTopology({"r0": ["a"], "r1": ["a"]})
+
+    def test_assign_moves_node(self):
+        topo = self._topology()
+        topo.assign("c", "rack0")
+        assert topo.same_rack("a", "c")
+
+    def test_network_uses_topology(self):
+        sim = Simulator()
+        topo = self._topology()
+        net = Network(sim, SeededRng(3), topology=topo)
+        inbox_b = net.register("b")
+        inbox_c = net.register("c")
+        net.register("a")
+        arrivals = {}
+
+        def consumer(name, inbox):
+            message = yield inbox.get()
+            arrivals[name] = sim.now
+
+        sim.process(consumer("b", inbox_b))
+        sim.process(consumer("c", inbox_c))
+        net.send("a", "b", "near")
+        net.send("a", "c", "far")
+        sim.run()
+        assert arrivals["b"] == pytest.approx(10e-6)
+        assert arrivals["c"] == pytest.approx(100e-6)
+
+
+class TestReplicaSpreading:
+    def test_no_shard_majority_in_one_rack(self):
+        directory = Directory({
+            "shard0": ["s0a", "s0b", "s0c"],
+            "shard1": ["s1a", "s1b", "s1c"],
+        })
+        racks = spread_replicas_across_racks(directory, num_racks=3)
+        topo = RackTopology(racks)
+        for shard_name in directory.shard_names:
+            shard = directory.shard(shard_name)
+            rack_counts = {}
+            for replica in shard.replicas:
+                rack = topo.rack_of(replica)
+                rack_counts[rack] = rack_counts.get(rack, 0) + 1
+            majority = shard.fault_tolerance + 1
+            assert max(rack_counts.values()) < majority + 1, (
+                f"{shard_name} has a majority in one rack: {rack_counts}")
+
+    def test_every_replica_placed(self):
+        directory = Directory({"shard0": ["x", "y", "z"]})
+        racks = spread_replicas_across_racks(directory, num_racks=3)
+        placed = [node for nodes in racks.values() for node in nodes]
+        assert sorted(placed) == ["x", "y", "z"]

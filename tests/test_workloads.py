@@ -1,0 +1,168 @@
+"""Tests for workload generators: Zipf, Retwis, micro-benchmark."""
+
+import pytest
+
+from repro.flash import FlashDevice, FlashGeometry
+from repro.ftl import DRAMBackend, MFTLBackend
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.sim import SeededRng, Simulator
+from repro.workloads import (
+    RETWIS_MIX,
+    RetwisInstance,
+    ZipfGenerator,
+    run_kv_microbench,
+)
+
+
+class TestZipf:
+    def test_uniform_when_alpha_zero(self):
+        rng = SeededRng(1)
+        zipf = ZipfGenerator(rng, list(range(10)), alpha=0.0)
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[zipf.draw()] += 1
+        assert min(counts) > 700
+        assert max(counts) < 1300
+
+    def test_skew_increases_with_alpha(self):
+        def top_share(alpha):
+            rng = SeededRng(2)
+            zipf = ZipfGenerator(rng, list(range(100)), alpha=alpha)
+            hits = sum(1 for _ in range(5_000) if zipf.draw() < 5)
+            return hits / 5_000
+
+        assert top_share(0.99) > top_share(0.5) > top_share(0.0)
+
+    def test_draw_distinct(self):
+        rng = SeededRng(3)
+        zipf = ZipfGenerator(rng, list(range(50)), alpha=0.9)
+        sample = zipf.draw_distinct(10)
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_draw_distinct_bounds(self):
+        zipf = ZipfGenerator(SeededRng(4), [1, 2, 3], alpha=0.5)
+        assert sorted(zipf.draw_distinct(3)) == [1, 2, 3]
+        with pytest.raises(ValueError):
+            zipf.draw_distinct(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(SeededRng(0), [], 0.5)
+        with pytest.raises(ValueError):
+            ZipfGenerator(SeededRng(0), [1], -1.0)
+
+    def test_deterministic(self):
+        a = ZipfGenerator(SeededRng(5), list(range(20)), 0.8)
+        b = ZipfGenerator(SeededRng(5), list(range(20)), 0.8)
+        assert [a.draw() for _ in range(50)] == [b.draw() for _ in range(50)]
+
+
+class TestRetwis:
+    def _cluster(self, **overrides):
+        defaults = dict(num_shards=1, replicas_per_shard=1, num_clients=2,
+                        backend="dram", populate_keys=100, seed=13)
+        defaults.update(overrides)
+        return Cluster(ClusterConfig(**defaults))
+
+    def test_mix_weights_sum_to_100(self):
+        assert sum(w for _, _, _, w in RETWIS_MIX) == pytest.approx(100.0)
+
+    def test_runs_fixed_transaction_count(self):
+        cluster = self._cluster()
+        instance = RetwisInstance(
+            cluster.sim, cluster.clients[0], cluster.populated_keys,
+            cluster.rng.substream("retwis"), alpha=0.5)
+        proc = instance.run_transactions(40)
+        cluster.sim.run_until_event(proc)
+        assert sum(instance.stats.by_type.values()) == 40
+        assert instance.stats.committed >= 40  # retries may add commits? no:
+        # committed counts successful attempts of the 40 logical txns.
+        assert instance.stats.committed <= instance.stats.attempts
+
+    def test_type_distribution_roughly_matches_table2(self):
+        cluster = self._cluster()
+        instance = RetwisInstance(
+            cluster.sim, cluster.clients[0], cluster.populated_keys,
+            cluster.rng.substream("retwis"), alpha=0.3)
+        cluster.sim.run_until_event(instance.run_transactions(400))
+        share = {name: count / 400
+                 for name, count in instance.stats.by_type.items()}
+        assert share.get("get_timeline", 0) == pytest.approx(0.50, abs=0.12)
+        assert share.get("post_tweet", 0) == pytest.approx(0.35, abs=0.12)
+
+    def test_duration_run_stops(self):
+        cluster = self._cluster()
+        instance = RetwisInstance(
+            cluster.sim, cluster.clients[0], cluster.populated_keys,
+            cluster.rng.substream("retwis"), alpha=0.5)
+        start = cluster.sim.now
+        proc = instance.run(duration=0.25)
+        cluster.sim.run_until_event(proc)
+        assert cluster.sim.now >= start + 0.25
+        assert instance.stats.attempts > 0
+
+    def test_contention_raises_abort_rate(self):
+        def abort_rate(alpha, seed=17):
+            cluster = self._cluster(num_clients=8, populate_keys=50,
+                                    seed=seed)
+            instances = [
+                RetwisInstance(cluster.sim, client,
+                               cluster.populated_keys,
+                               cluster.rng.substream(f"r{i}"), alpha=alpha)
+                for i, client in enumerate(cluster.clients)
+            ]
+            procs = [inst.run_transactions(60) for inst in instances]
+            for proc in procs:
+                cluster.sim.run_until_event(proc)
+            attempts = sum(i.stats.attempts for i in instances)
+            aborted = sum(i.stats.aborted for i in instances)
+            return aborted / attempts
+
+        assert abort_rate(0.95) > abort_rate(0.1)
+
+
+class TestMicrobench:
+    def test_pure_get_workload(self):
+        sim = Simulator()
+        backend = DRAMBackend(sim)
+        result = run_kv_microbench(
+            sim, backend, SeededRng(7), num_keys=100, get_percent=100,
+            duration=0.02, warmup=0.005, num_workers=16)
+        assert result.puts == 0
+        assert result.gets > 0
+        assert result.throughput > 0
+        assert result.mean_get_latency > 0
+
+    def test_mixed_workload_on_flash(self):
+        sim = Simulator()
+        geometry = FlashGeometry(page_size=4096, pages_per_block=16,
+                                 num_blocks=64, num_channels=8)
+        backend = MFTLBackend(sim, FlashDevice(sim, geometry),
+                              packing_delay=0.2e-3)
+        result = run_kv_microbench(
+            sim, backend, SeededRng(8), num_keys=200, get_percent=50,
+            duration=0.05, warmup=0.01, num_workers=32)
+        assert result.gets > 0 and result.puts > 0
+        # GETs are a single 50 µs page read plus queueing; PUTs pay the
+        # packing delay.
+        assert result.mean_put_latency > result.mean_get_latency
+
+    def test_get_percent_validation(self):
+        sim = Simulator()
+        backend = DRAMBackend(sim)
+        with pytest.raises(ValueError):
+            run_kv_microbench(sim, backend, SeededRng(0), 10, 150, 0.01)
+
+    def test_gc_runs_during_measurement(self):
+        sim = Simulator()
+        # Size the device so the retention window's worth of versions
+        # fits with room to spare, or GC has nothing it may discard.
+        geometry = FlashGeometry(page_size=4096, pages_per_block=16,
+                                 num_blocks=64, num_channels=8)
+        backend = MFTLBackend(sim, FlashDevice(sim, geometry),
+                              packing_delay=0.1e-3)
+        run_kv_microbench(
+            sim, backend, SeededRng(9), num_keys=100, get_percent=10,
+            duration=0.3, warmup=0.02, num_workers=8,
+            version_window=0.01)
+        assert backend.stats.gc_runs > 0

@@ -1,0 +1,106 @@
+"""Tests for the YCSB workload family."""
+
+import pytest
+
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.workloads import YCSB_WORKLOADS, YcsbInstance
+
+
+def make_cluster(**overrides):
+    defaults = dict(num_shards=1, replicas_per_shard=1, num_clients=1,
+                    backend="dram", populate_keys=100, seed=103)
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+def make_instance(cluster, workload, client_index=0, **kwargs):
+    client = cluster.clients[client_index]
+    return YcsbInstance(
+        cluster.sim, client, cluster.populated_keys,
+        cluster.rng.substream(f"ycsb{client_index}"),
+        workload=workload, **kwargs)
+
+
+class TestWorkloadDefinitions:
+    def test_all_mixes_sum_to_100(self):
+        for name, mix in YCSB_WORKLOADS.items():
+            assert sum(weight for _, weight in mix) == \
+                pytest.approx(100.0), name
+
+    def test_unknown_workload_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError, match="unknown YCSB workload"):
+            make_instance(cluster, "Z")
+
+
+class TestExecution:
+    @pytest.mark.parametrize("workload", sorted(YCSB_WORKLOADS))
+    def test_workload_runs_to_completion(self, workload):
+        cluster = make_cluster()
+        instance = make_instance(cluster, workload)
+        cluster.sim.run_until_event(instance.run_operations(40))
+        assert instance.stats.operations == 40
+        assert instance.stats.committed >= 40  # every op decided
+
+    def test_workload_c_is_pure_read(self):
+        cluster = make_cluster()
+        instance = make_instance(cluster, "C")
+        cluster.sim.run_until_event(instance.run_operations(50))
+        assert instance.stats.by_operation == {"read": 50}
+        assert instance.stats.inserts == 0
+
+    def test_workload_b_mostly_reads(self):
+        cluster = make_cluster()
+        instance = make_instance(cluster, "B")
+        cluster.sim.run_until_event(instance.run_operations(300))
+        reads = instance.stats.by_operation.get("read", 0)
+        assert reads / 300 == pytest.approx(0.95, abs=0.06)
+
+    def test_workload_d_inserts_become_readable(self):
+        cluster = make_cluster()
+        instance = make_instance(cluster, "D")
+        cluster.sim.run_until_event(instance.run_operations(200))
+        assert instance.stats.inserts > 0
+        server = next(iter(cluster.servers.values()))
+        inserted = [key for key in server.backend.keys()
+                    if ":ins:" in key]
+        assert len(inserted) == instance.stats.inserts
+
+    def test_workload_e_scans_multiple_keys(self):
+        cluster = make_cluster()
+        instance = make_instance(cluster, "E", max_scan_length=5)
+        client = cluster.clients[0]
+        cluster.sim.run_until_event(instance.run_operations(60))
+        scans = instance.stats.by_operation.get("scan", 0)
+        assert scans > 40
+
+    def test_duration_run_stops(self):
+        cluster = make_cluster()
+        instance = make_instance(cluster, "A")
+        start = cluster.sim.now
+        cluster.sim.run_until_event(instance.run(0.05))
+        assert cluster.sim.now >= start + 0.05
+        assert instance.stats.operations > 0
+
+    def test_rmw_conflicts_under_contention(self):
+        cluster = make_cluster(num_clients=6, populate_keys=10)
+        instances = [
+            make_instance(cluster, "F", client_index=i, alpha=0.99)
+            for i in range(6)
+        ]
+        procs = [instance.run_operations(40) for instance in instances]
+        for proc in procs:
+            cluster.sim.run_until_event(proc)
+        total_aborts = sum(i.stats.aborted for i in instances)
+        assert total_aborts > 0, \
+            "hot read-modify-write must produce OCC conflicts"
+
+    def test_deterministic_for_seed(self):
+        def run_once():
+            cluster = make_cluster()
+            instance = make_instance(cluster, "A")
+            cluster.sim.run_until_event(instance.run_operations(60))
+            return (instance.stats.by_operation,
+                    instance.stats.committed, instance.stats.aborted)
+
+        assert run_once() == run_once()
