@@ -1,0 +1,36 @@
+"""simlint: determinism & protocol-hygiene static analysis for this repo.
+
+The reproduction's headline guarantee — identical abort-rate/latency
+numbers run-to-run for a fixed seed — is a *whole-codebase* invariant.
+One ``time.time()`` in an event handler, one bare ``random.random()``,
+or one iteration over an unordered ``set`` feeding replication fan-out
+silently breaks it. ``repro.analysis`` enforces those rules with an
+AST-based analyzer:
+
+* a visitor framework over every module (``engine``),
+* a registry of repo-specific rules (``rules``) — DET001..DET004,
+  SIM001, RPC001, TXN001, API001,
+* inline ``# simlint: disable=RULE`` suppressions,
+* a checked-in baseline file for grandfathered findings (``baseline``),
+* a CLI: ``python -m repro.analysis [paths] [--format text|json]``,
+  also exposed as ``python -m repro analyze``.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and rationale.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import ModuleContext, Rule, all_rules, analyze_paths, rule
+from .findings import Finding, Severity
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "rule",
+]

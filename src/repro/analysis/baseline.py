@@ -1,0 +1,93 @@
+"""Checked-in baseline for grandfathered findings.
+
+A baseline lets the analyzer land with zero noise on a codebase that
+still has violations: known findings are recorded once (by rule, path,
+and message — deliberately not by line, so unrelated edits don't churn
+the file) and the CLI only fails on *new* findings. The repo policy is
+to keep the baseline empty or near-empty: fix violations, don't bank
+them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+class Baseline:
+    """A multiset of (rule, path, message) triples."""
+
+    def __init__(self, entries: Iterable[Tuple[str, str, str]] = ()) -> None:
+        self._entries = Counter(entries)
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    @staticmethod
+    def _key(finding: Finding) -> Tuple[str, str, str]:
+        return (finding.rule_id, finding.path, finding.message)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(cls._key(f) for f in findings)
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise BaselineError(f"{path}: expected an object with 'entries'")
+        if data.get("version") != _FORMAT_VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version {data.get('version')!r}")
+        entries = []
+        for entry in data["entries"]:
+            try:
+                entries.append((entry["rule"], entry["path"],
+                                entry["message"]))
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"{path}: malformed entry {entry!r}") from exc
+        return cls(entries)
+
+    def save(self, path) -> None:
+        entries = []
+        for (rule_id, file_path, message), count in sorted(
+                self._entries.items()):
+            for _ in range(count):
+                entries.append({"rule": rule_id, "path": file_path,
+                                "message": message})
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8")
+
+    def split(self, findings: Iterable[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, baselined), consuming one baseline entry
+        per matched finding so duplicate regressions still surface."""
+        remaining = Counter(self._entries)
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in findings:
+            key = self._key(finding)
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        return new, matched

@@ -1,0 +1,127 @@
+"""simlint command line: ``python -m repro.analysis [paths ...]``.
+
+Exit codes: 0 clean (or all findings baselined), 1 findings, 2 usage
+error. ``--format json`` emits a machine-readable report; the schema is
+pinned by ``tests/test_analysis.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline, BaselineError
+from .engine import all_rules, analyze_paths
+from .findings import Finding
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=("simlint: determinism & protocol-hygiene static "
+                     "analysis for the SEMEL/MILANA reproduction"))
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="output_format")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="suppress findings recorded in this "
+                             "baseline file")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="record current findings as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _split_rules(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _list_rules() -> int:
+    for rule_id, r in sorted(all_rules().items()):
+        print(f"{rule_id}  [{r.severity:7s}]  {r.description}")
+    return 0
+
+
+def _render_text(new: List[Finding], baselined: List[Finding],
+                 files: int) -> None:
+    for finding in new:
+        print(finding.render())
+    noun = "file" if files == 1 else "files"
+    suffix = f" ({len(baselined)} baselined)" if baselined else ""
+    print(f"simlint: {len(new)} finding(s) in {files} {noun}{suffix}",
+          file=sys.stderr)
+
+
+def _render_json(new: List[Finding], baselined: List[Finding],
+                 files: int) -> None:
+    counts: dict = {}
+    for finding in new:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    print(json.dumps({
+        "version": 1,
+        "files_checked": files,
+        "findings": [f.to_json() for f in new],
+        "baselined": len(baselined),
+        "counts_by_rule": counts,
+    }, indent=2))
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         prog: str = "repro.analysis") -> int:
+    parser = build_parser(prog)
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+    try:
+        findings, files = analyze_paths(
+            args.paths,
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore))
+    except ValueError as exc:
+        parser.error(str(exc))  # exits 2
+        return 2  # unreachable; keeps type-checkers happy
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(f"simlint: wrote {len(findings)} entr"
+              f"{'y' if len(findings) == 1 else 'ies'} to "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, BaselineError) as exc:
+            parser.error(str(exc))
+            return 2
+        new, baselined = baseline.split(findings)
+    else:
+        new, baselined = findings, []
+    if args.output_format == "json":
+        _render_json(new, baselined, files)
+    else:
+        _render_text(new, baselined, files)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,294 @@
+"""The analysis engine: module contexts, the rule registry, the driver.
+
+A :class:`ModuleContext` wraps one parsed source file and precomputes
+everything rules keep asking for: import-alias resolution (so
+``import time as t; t.time()`` still resolves to ``time.time``),
+generator-function discovery (sim processes are generators), and the
+``# simlint: disable=...`` suppression map.
+
+Rules subclass :class:`Rule`, register themselves with the
+:func:`rule` decorator, and yield :class:`Finding` objects from
+``check``. The driver (:func:`analyze_paths`) walks files, runs every
+selected rule, and filters suppressed findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from pathlib import Path, PurePath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from .findings import Finding, Severity
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "rule",
+    "all_rules",
+    "analyze_paths",
+    "iter_python_files",
+    "SYNTAX_RULE_ID",
+]
+
+#: Pseudo-rule reported when a file cannot be parsed at all.
+SYNTAX_RULE_ID = "SYN001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(disable-file|disable)\s*(?:=\s*([A-Za-z0-9_,\s]+))?")
+
+#: Sentinel meaning "every rule" in suppression sets.
+_ALL = "*"
+
+
+class ModuleContext:
+    """One source file, parsed, with rule-facing helpers."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source)  # may raise SyntaxError
+        #: line -> set of suppressed rule ids ("*" means all rules).
+        self.line_suppressions: Dict[int, Set[str]] = {}
+        #: rule ids suppressed for the whole file ("*" means all).
+        self.file_suppressions: Set[str] = set()
+        self._parse_suppressions()
+        #: ``import x.y as z`` -> {"z": "x.y"}; ``import time`` -> {"time": "time"}
+        self.import_aliases: Dict[str, str] = {}
+        #: ``from a.b import c as d`` -> {"d": "a.b.c"}
+        self.from_imports: Dict[str, str] = {}
+        self._collect_imports()
+
+    # -- imports / name resolution ----------------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.import_aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a``; attribute chains re-form
+                        # the dotted path naturally, so map a -> a.
+                        root = alias.name.split(".")[0]
+                        self.import_aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never hit stdlib rules
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.from_imports[bound] = f"{node.module}.{alias.name}"
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Best-effort dotted name of an expression, import-aware.
+
+        ``time.time`` -> "time.time"; with ``from time import time`` the
+        bare name ``time`` also resolves to "time.time"; with
+        ``import numpy.random as npr``, ``npr.rand`` -> "numpy.random.rand".
+        Unresolvable expressions (calls, subscripts) return ``None``.
+        """
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name in self.from_imports:
+                return self.from_imports[name]
+            if name in self.import_aliases:
+                return self.import_aliases[name]
+            return name
+        if isinstance(node, ast.Attribute):
+            base = self.qualname(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def calls(self) -> Iterator[Tuple[ast.Call, Optional[str]]]:
+        """Every Call node paired with the resolved qualname of its callee."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                yield node, self.qualname(node.func)
+
+    # -- generator discovery ----------------------------------------------
+
+    @staticmethod
+    def own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function's body without descending into nested defs."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def generator_functions(self) -> List[ast.FunctionDef]:
+        """Functions that contain a yield at their own level (sim processes)."""
+        result = []
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.FunctionDef):
+                for child in self.own_nodes(node):
+                    if isinstance(child, (ast.Yield, ast.YieldFrom)):
+                        result.append(node)
+                        break
+        return result
+
+    # -- suppressions ------------------------------------------------------
+
+    def _parse_suppressions(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [(tok.start[0], tok.string)
+                        for tok in tokens if tok.type == tokenize.COMMENT]
+        except tokenize.TokenError:
+            comments = []
+        for line, text in comments:
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            kind, rules_text = match.groups()
+            rules = ({part.strip() for part in rules_text.split(",")
+                      if part.strip()} if rules_text else {_ALL})
+            if kind == "disable-file":
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(line, set()).update(rules)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if (_ALL in self.file_suppressions
+                or finding.rule_id in self.file_suppressions):
+            return True
+        rules = self.line_suppressions.get(finding.line, set())
+        return _ALL in rules or finding.rule_id in rules
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set ``rule_id``, ``severity``, ``description`` and
+    implement ``check``. ``excluded_path_suffixes`` names files the rule
+    never applies to (e.g. DET002 must not flag ``sim/rng.py``, the one
+    sanctioned wrapper around ``random.Random``); ``required_path_parts``
+    restricts a rule to a sub-tree (e.g. TXN001 to ``milana/``).
+    """
+
+    rule_id: str = ""
+    severity: str = Severity.ERROR
+    description: str = ""
+    excluded_path_suffixes: Tuple[str, ...] = ()
+    required_path_parts: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        posix = PurePath(ctx.path).as_posix()
+        if any(posix.endswith(suffix) for suffix in self.excluded_path_suffixes):
+            return False
+        if self.required_path_parts:
+            parts = PurePath(ctx.path).parts
+            return any(part in parts for part in self.required_path_parts)
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    instance = cls()
+    if not instance.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if instance.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    _REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """The registry (id -> rule instance), importing the built-in rules."""
+    from . import rules as _builtin  # noqa: F401 - registration side effect
+    return dict(_REGISTRY)
+
+
+# -- driver ----------------------------------------------------------------
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            found.extend(str(f) for f in sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            found.append(str(p))
+    return sorted(dict.fromkeys(found))
+
+
+def _normalize(path: str) -> str:
+    """Posix-style path, relative to the CWD when it lives under it."""
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # different drive on windows
+        rel = path
+    if not rel.startswith(".."):
+        path = rel
+    return PurePath(path).as_posix()
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Run every (selected) rule over every file under ``paths``.
+
+    Returns ``(findings, files_checked)`` with inline-suppressed findings
+    already removed; baseline filtering is the caller's job.
+    """
+    registry = all_rules()
+    active = {rid: r for rid, r in registry.items()
+              if (not select or rid in select)
+              and not (ignore and rid in ignore)}
+    unknown = [rid for rid in list(select or []) + list(ignore or [])
+               if rid not in registry and rid != SYNTAX_RULE_ID]
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    findings: List[Finding] = []
+    files = iter_python_files(paths)
+    for path in files:
+        norm = _normalize(path)
+        source = Path(path).read_text(encoding="utf-8")
+        try:
+            ctx = ModuleContext(norm, source)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=norm, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                rule_id=SYNTAX_RULE_ID, severity=Severity.ERROR,
+                message=f"cannot parse: {exc.msg}"))
+            continue
+        for r in active.values():
+            if not r.applies_to(ctx):
+                continue
+            for finding in r.check(ctx):
+                if not ctx.is_suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=lambda f: f.sort_key)
+    return findings, len(files)

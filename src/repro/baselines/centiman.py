@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..milana.client import MilanaClient
-from ..milana.transaction import ABORTED, COMMITTED, Transaction
+from ..milana.transaction import COMMITTED, Transaction
 
 __all__ = ["WatermarkBoard", "CentimanClient",
            "DEFAULT_DISSEMINATION_EVERY"]

@@ -13,6 +13,10 @@ Commands
     throughput / abort rate / latency percentiles.
 ``ycsb``
     Run a YCSB workload (A–F) on a configurable cluster.
+``analyze``
+    Run the simlint determinism/protocol-hygiene static analyzer
+    (see ``repro.analysis``); extra arguments are forwarded, e.g.
+    ``python -m repro analyze src/repro --format json``.
 """
 
 from __future__ import annotations
@@ -147,6 +151,12 @@ def _build_parser() -> argparse.ArgumentParser:
     ycsb.add_argument("--workload", choices=sorted(YCSB_WORKLOADS),
                       default="B")
     ycsb.add_argument("--alpha", type=float, default=0.99)
+
+    analyze = sub.add_parser(
+        "analyze", add_help=False,
+        help="run the simlint static analyzer (repro.analysis)")
+    analyze.add_argument("analysis_args", nargs=argparse.REMAINDER,
+                         help="arguments forwarded to repro.analysis")
     return parser
 
 
@@ -265,14 +275,27 @@ def _command_ycsb(args) -> int:
     return 0
 
 
+def _command_analyze(args) -> int:
+    from .analysis.cli import main as analysis_main
+    return analysis_main(args.analysis_args, prog="repro analyze")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # argparse.REMAINDER cannot capture a leading option (bpo-17050), so
+    # forward everything after ``analyze`` to the analyzer CLI directly.
+    if argv and argv[0] == "analyze":
+        from .analysis.cli import main as analysis_main
+        return analysis_main(list(argv[1:]), prog="repro analyze")
     args = _build_parser().parse_args(argv)
     handlers: Dict[str, Callable] = {
         "list": _command_list,
         "experiment": _command_experiment,
         "retwis": _command_retwis,
         "ycsb": _command_ycsb,
+        "analyze": _command_analyze,
     }
     return handlers[args.command](args)
 

@@ -9,7 +9,7 @@ offset among clients).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Sequence
 
 from ..sim.rng import SeededRng
 from .base import Clock

@@ -16,7 +16,7 @@ text discusses qualitatively:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Sequence
 
 from ..flash.device import FlashDevice
 from ..ftl.mftl import MFTLBackend
@@ -185,7 +185,6 @@ def run_client_caching_ablation(
     stale-cache aborts — and how the answer flips with contention.
     """
     from ..milana.extensions import CachingMilanaClient
-    from ..milana.transaction import COMMITTED
     from .cluster import Cluster
 
     rows = []

@@ -20,7 +20,7 @@ from ..ftl import DRAMBackend, MFTLBackend, VFTLBackend
 from ..ftl.packing import DEFAULT_PACKING_DELAY
 from ..milana.client import MilanaClient
 from ..milana.server import MilanaServer
-from ..net.latency import JitteredLatency, LatencyModel
+from ..net.latency import JitteredLatency
 from ..net.network import Network
 from ..semel.sharding import Directory
 from ..sim.core import Simulator

@@ -11,7 +11,7 @@ fall — are what the reproduction validates (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..baselines.centiman import CentimanClient, WatermarkBoard
 from ..clocks.perfect import PerfectClock

@@ -8,7 +8,7 @@ snapshot again, and diff. All rates are per second of **simulated** time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 from ..histogram import LatencyHistogram
 from ..milana.client import MilanaClient

@@ -9,7 +9,7 @@ table/figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..workloads.retwis import RetwisInstance
 from .cluster import Cluster, ClusterConfig

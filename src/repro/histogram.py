@@ -10,7 +10,7 @@ nanoseconds to seconds with O(1) recording and tiny memory.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable
 
 __all__ = ["LatencyHistogram"]
 

@@ -19,11 +19,10 @@ state before serving:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..net.rpc import RpcError
 from ..sim.process import Process
-from ..versioning import Version
 from .leases import DEFAULT_LEASE_DURATION
 from .server import MilanaServer
 from .transaction import ABORTED, COMMITTED, PREPARED, UNKNOWN, \

@@ -24,7 +24,7 @@ resolves them with the 4-rule CTP of §4.5.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from ..ftl.base import KVBackend
 from ..net.network import Network
@@ -33,7 +33,6 @@ from ..semel.replication import replicate_to_backups
 from ..semel.server import StorageServer
 from ..semel.sharding import Directory
 from ..sim.core import Simulator
-from ..versioning import Version
 from .transaction import ABORTED, COMMITTED, PREPARED, UNKNOWN, \
     TransactionRecord
 from .validation import KeyStateTable, validate

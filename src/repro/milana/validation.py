@@ -15,7 +15,7 @@ None of this is persisted; recovery rebuilds ``prepared`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..versioning import Version

@@ -18,7 +18,8 @@ from typing import Dict, Optional, Sequence
 from ..sim.rng import SeededRng
 from .latency import JitteredLatency, LatencyModel
 
-__all__ = ["RackTopology", "DEFAULT_INTRA_RACK", "DEFAULT_CROSS_RACK"]
+__all__ = ["RackTopology", "DEFAULT_INTRA_RACK", "DEFAULT_CROSS_RACK",
+           "spread_replicas_across_racks"]
 
 
 def DEFAULT_INTRA_RACK() -> JitteredLatency:

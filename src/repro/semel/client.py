@@ -18,7 +18,7 @@ All operations return simulation processes.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, Optional
 
 from ..clocks.base import Clock
 from ..net.network import Network

@@ -22,7 +22,7 @@ master mutates atomically at promotion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..milana.recovery import RecoveryError, recover_primary

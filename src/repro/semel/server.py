@@ -19,7 +19,7 @@ order. All handlers are idempotent.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from ..ftl.base import KVBackend
 from ..net.network import Network

@@ -16,7 +16,7 @@ compose from the same primitives.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..milana.client import MilanaClient, TransactionAborted
 from ..milana.transaction import COMMITTED

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Optional
 
 __all__ = ["SeededRng"]
 

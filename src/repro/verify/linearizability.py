@@ -19,7 +19,7 @@ excluded by the caller — at-most-once means they never took effect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List
 
 __all__ = ["Op", "check_linearizability"]
 

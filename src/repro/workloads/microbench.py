@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional
 
 from ..ftl.base import KVBackend
 from ..sim.core import Simulator

@@ -1,7 +1,6 @@
 """Tests for the comparison baselines: Centiman, single-version FTL,
 remote-validation-only clients."""
 
-import pytest
 
 from repro.baselines import (
     CentimanClient,

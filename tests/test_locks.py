@@ -156,7 +156,6 @@ class TestMutualExclusion:
         completed = [0]
 
         def worker(service, rounds):
-            client = service.client
             done = 0
             while done < rounds:
                 handle = yield service.acquire("mutex")

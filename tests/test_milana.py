@@ -1,6 +1,5 @@
 """Tests for the MILANA transaction layer: OCC, 2PC, local validation."""
 
-import pytest
 
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.milana import (
@@ -180,8 +179,8 @@ class TestBasicTransactions:
         def work():
             t1 = c1.begin()
             t2 = c2.begin()
-            v1 = yield c1.txn_get(t1, "key:1")
-            v2 = yield c2.txn_get(t2, "key:1")
+            yield c1.txn_get(t1, "key:1")
+            yield c2.txn_get(t2, "key:1")
             c1.put(t1, "key:1", "from-c1")
             c2.put(t2, "key:1", "from-c2")
             o1 = yield c1.commit(t1)

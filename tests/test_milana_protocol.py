@@ -1,7 +1,6 @@
 """Direct protocol-level tests of the MILANA server handlers:
 idempotence, out-of-order replication records, relaxed backup updates."""
 
-import pytest
 
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.milana import ABORTED, COMMITTED, PREPARED, UNKNOWN

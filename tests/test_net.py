@@ -211,7 +211,6 @@ class TestRpc:
     def test_retries_reuse_request_id(self):
         sim = Simulator()
         net, client, server = self._pair(sim)
-        seen_ids = []
 
         def flaky(payload):
             yield sim.timeout(1e-6)

@@ -1,6 +1,5 @@
 """Tests for the transactional FIFO queue service."""
 
-import pytest
 
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.services import TransactionalQueue

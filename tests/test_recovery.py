@@ -13,7 +13,6 @@ from repro.milana import (
     merge_records,
     recover_primary,
 )
-from repro.versioning import Version
 
 
 def make_cluster(**overrides):
@@ -70,7 +69,7 @@ class TestPrimaryFailover:
         def work():
             for i in range(n):
                 txn = client.begin()
-                value = yield client.txn_get(txn, f"key:{i}")
+                yield client.txn_get(txn, f"key:{i}")
                 client.put(txn, f"key:{i}", f"gen2-{i}")
                 outcome = yield client.commit(txn)
                 assert outcome == COMMITTED
@@ -157,7 +156,6 @@ class TestPrimaryFailover:
         the merge (Algorithm 2 line 6-7)."""
         cluster = make_cluster()
         client = cluster.clients[0]
-        primary = cluster.servers["srv-0-0"]
 
         # Manufacture a prepared-but-undecided txn by injecting the
         # prepare records directly (as if the client died mid-2PC).

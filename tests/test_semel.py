@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.clocks import PerfectClock, SyncedClock
+from repro.clocks import PerfectClock
 from repro.ftl import DRAMBackend
 from repro.net import AppError, FixedLatency, Network, RpcTimeout
 from repro.semel import (
@@ -15,7 +15,6 @@ from repro.semel import (
     WatermarkTracker,
 )
 from repro.sim import SeededRng, Simulator
-from repro.versioning import Version
 
 
 class TestHashRing:
@@ -194,7 +193,6 @@ class TestSemelService:
         """A client whose clock lags far enough behind sees rejections
         under contention — the §3.3 tradeoff."""
         sim, network, directory, _, _ = build_cluster(num_clients=0)
-        rng = SeededRng(3)
 
         class LaggingClock(PerfectClock):
             def _raw_now(self):

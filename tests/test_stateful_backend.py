@@ -8,7 +8,6 @@ snapshot reads, version retention, or delete behaviour fails the run
 with a minimized command sequence.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

@@ -52,7 +52,7 @@ class TestRackTopology:
         arrivals = {}
 
         def consumer(name, inbox):
-            message = yield inbox.get()
+            yield inbox.get()
             arrivals[name] = sim.now
 
         sim.process(consumer("b", inbox_b))

@@ -3,7 +3,6 @@ linearizability check of SEMEL's single-key RPCs."""
 
 import pytest
 
-from repro.clocks import PerfectClock
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.net import AppError
 from repro.semel import SemelClient

@@ -69,7 +69,6 @@ class TestExecution:
     def test_workload_e_scans_multiple_keys(self):
         cluster = make_cluster()
         instance = make_instance(cluster, "E", max_scan_length=5)
-        client = cluster.clients[0]
         cluster.sim.run_until_event(instance.run_operations(60))
         scans = instance.stats.by_operation.get("scan", 0)
         assert scans > 40
