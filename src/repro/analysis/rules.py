@@ -22,6 +22,7 @@ __all__ = [
     "EnvironmentReadRule",
     "BlockingInProcessRule",
     "RpcTimeoutRule",
+    "WirePayloadRule",
     "YieldAtomicityRule",
     "DunderAllRule",
     "rule_catalogue",
@@ -294,6 +295,67 @@ class RpcTimeoutRule(Rule):
                         ctx, call,
                         "replicate_to_backups without an explicit "
                         "timeout=; quorum waits need a visible budget")
+
+
+@rule
+class WirePayloadRule(Rule):
+    """WIRE001: RPC payloads are typed ``repro.wire`` messages.
+
+    A raw dict literal at a send-site bypasses the wire registry: no
+    schema check at the sender, no ``wire_size`` accounting, and the
+    receiving handler silently falls back to duck typing. Construct the
+    registered message class for the method instead.
+    """
+
+    rule_id = "WIRE001"
+    severity = Severity.ERROR
+    description = ("raw dict literal as an RPC payload; construct the "
+                   "registered repro.wire message class instead")
+
+    #: attribute name -> 0-based position of the payload argument.
+    PAYLOAD_POSITIONS = {
+        "call": 2,
+        "send_oneway": 2,
+        "notify": 2,
+        "replicate_to_backups": 3,
+    }
+
+    def _node_like(self, receiver: ast.AST) -> bool:
+        if isinstance(receiver, ast.Name):
+            return receiver.id == "node" or receiver.id.endswith("_node")
+        if isinstance(receiver, ast.Attribute):
+            return receiver.attr == "node" or receiver.attr.endswith("_node")
+        return False
+
+    def _payload(self, call: ast.Call, attr: str) -> Optional[ast.AST]:
+        for keyword in call.keywords:
+            if keyword.arg == "payload":
+                return keyword.value
+        position = self.PAYLOAD_POSITIONS[attr]
+        if len(call.args) > position:
+            return call.args[position]
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for call, qualname in ctx.calls():
+            func = call.func
+            attr = None
+            if isinstance(func, ast.Attribute) and \
+                    func.attr in ("call", "send_oneway", "notify"):
+                if self._node_like(func.value):
+                    attr = func.attr
+            elif qualname is not None and \
+                    qualname.split(".")[-1] == "replicate_to_backups":
+                attr = "replicate_to_backups"
+            if attr is None:
+                continue
+            payload = self._payload(call, attr)
+            if isinstance(payload, (ast.Dict, ast.DictComp)):
+                yield self.finding(
+                    ctx, payload,
+                    f"dict literal passed as the {attr}() payload "
+                    f"bypasses the typed wire protocol; build the "
+                    f"registered repro.wire message for this method")
 
 
 @rule

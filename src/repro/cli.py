@@ -17,6 +17,11 @@ Commands
     Run the simlint determinism/protocol-hygiene static analyzer
     (see ``repro.analysis``); extra arguments are forwarded, e.g.
     ``python -m repro analyze src/repro --format json``.
+``wire``
+    Validate the typed wire-protocol registry (``--check``) or print
+    the message catalogue (``--catalogue``). ``--check`` cross-checks
+    the registry against every RPC call site under ``src/repro`` and
+    exits non-zero on drift; CI runs it next to simlint.
 """
 
 from __future__ import annotations
@@ -139,6 +144,10 @@ def _build_parser() -> argparse.ArgumentParser:
         command.add_argument("--duration", type=float, default=0.2,
                              help="measured seconds of simulated time")
         command.add_argument("--seed", type=int, default=42)
+        command.add_argument(
+            "--bandwidth", type=float, default=None,
+            help="link bandwidth in bytes/s of simulated time "
+                 "(default: infinitely fast links)")
 
     retwis = sub.add_parser("retwis", help="run the Retwis benchmark")
     add_cluster_arguments(retwis)
@@ -157,6 +166,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the simlint static analyzer (repro.analysis)")
     analyze.add_argument("analysis_args", nargs=argparse.REMAINDER,
                          help="arguments forwarded to repro.analysis")
+
+    wire = sub.add_parser(
+        "wire", help="inspect/validate the typed wire-protocol registry")
+    wire.add_argument("--check", action="store_true",
+                      help="validate the registry against RPC call sites")
+    wire.add_argument("--catalogue", action="store_true",
+                      help="print the message catalogue as markdown")
+    wire.add_argument("--root", default=None,
+                      help="source tree to scan (default: the installed "
+                           "repro package)")
     return parser
 
 
@@ -195,10 +214,11 @@ def _cluster_config(args) -> ClusterConfig:
         seed=args.seed,
         populate_keys=args.keys,
         local_validation=not getattr(args, "no_local_validation", False),
+        network_bandwidth=getattr(args, "bandwidth", None),
     )
 
 
-def _print_run_summary(metrics, clients) -> None:
+def _print_run_summary(metrics, clients, network=None) -> None:
     histogram = merged_latency_histogram(clients)
     summary = histogram.summary()
     print(f"committed txns : {metrics.committed}")
@@ -209,6 +229,15 @@ def _print_run_summary(metrics, clients) -> None:
     print(f"latency p50    : {summary['p50'] * 1e3:.3f} ms")
     print(f"latency p95    : {summary['p95'] * 1e3:.3f} ms")
     print(f"latency p99    : {summary['p99'] * 1e3:.3f} ms")
+    if metrics.network_bytes:
+        print(f"wire traffic   : {metrics.network_bytes:,} bytes in "
+              f"{metrics.messages_sent:,} messages "
+              f"({metrics.network_bandwidth_used / 1e6:.2f} MB/s)")
+    if network is not None and network.stats.bytes_by_edge:
+        top = sorted(network.stats.bytes_by_edge.items(),
+                     key=lambda kv: -kv[1])[:3]
+        print("busiest edges  : " + "; ".join(
+            f"{src}->{dst} {count:,} B" for (src, dst), count in top))
     reasons: Dict[str, int] = {}
     for client in clients:
         for reason, count in client.stats.abort_reasons.items():
@@ -244,7 +273,8 @@ def _command_retwis(args) -> int:
     print(f"Retwis on {args.backend} x {args.shards} shard(s) x "
           f"{args.replicas} replica(s), {args.clients} clients, "
           f"clock={args.clock}, alpha={args.alpha}")
-    _print_run_summary(result.metrics, result.cluster.clients)
+    _print_run_summary(result.metrics, result.cluster.clients,
+                       network=result.cluster.network)
     return 0
 
 
@@ -280,6 +310,30 @@ def _command_analyze(args) -> int:
     return analysis_main(args.analysis_args, prog="repro analyze")
 
 
+def _command_wire(args) -> int:
+    from pathlib import Path
+
+    from .wire.check import run_check
+    from .wire.registry import render_catalogue
+
+    if not args.check and not args.catalogue:
+        args.check = True  # bare ``repro wire`` validates
+    status = 0
+    if args.catalogue:
+        print(render_catalogue())
+    if args.check:
+        root = Path(args.root) if args.root else Path(__file__).parent
+        problems, num_methods = run_check(root)
+        if problems:
+            for problem in problems:
+                print(f"wire-check: {problem}")
+            status = 1
+        else:
+            print(f"wire-check: OK ({num_methods} methods, registry and "
+                  f"call sites agree)")
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -296,6 +350,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "retwis": _command_retwis,
         "ycsb": _command_ycsb,
         "analyze": _command_analyze,
+        "wire": _command_wire,
     }
     return handlers[args.command](args)
 

@@ -45,6 +45,10 @@ class ClusterConfig:
     local_validation: bool = True
     network_base_latency: float = 50e-6
     network_jitter_fraction: float = 0.2
+    #: Link bandwidth in bytes per simulated second; None models an
+    #: infinitely fast link (zero transmission delay), preserving the
+    #: pre-bandwidth behaviour of existing experiments.
+    network_bandwidth: Optional[float] = None
     packing_delay: float = DEFAULT_PACKING_DELAY
     #: Flash geometry per storage server; None picks one sized for
     #: ``populate_keys`` (about 3x the live data set).
@@ -104,10 +108,8 @@ class Cluster:
             self.sim, self.rng,
             latency=JitteredLatency(
                 base=config.network_base_latency,
-                jitter_fraction=config.network_jitter_fraction)
-            if config.network_jitter_fraction > 0
-            else JitteredLatency(base=config.network_base_latency,
-                                 jitter_fraction=0.0))
+                jitter_fraction=max(config.network_jitter_fraction, 0.0),
+                bandwidth=config.network_bandwidth))
         self.clock_ensemble = ClockEnsemble(
             self.sim, self.rng, preset=config.clock_preset)
         shards = {

@@ -354,13 +354,15 @@ def run_figure8(
                     backend, "LV" if lv else "noLV", num_clients,
                     result.throughput,
                     result.mean_latency * 1e3,
+                    result.metrics.network_bandwidth_used / 1e6,
                 ])
                 xs.append(result.throughput)
                 ys.append(result.mean_latency * 1e3)
             series[f"{backend}/{'LV' if lv else 'noLV'}"] = (xs, ys)
     return ExperimentResult(
         name="Figure 8: Retwis transaction latency vs throughput",
-        headers=["backend", "mode", "clients", "txn/s", "latency ms"],
+        headers=["backend", "mode", "clients", "txn/s", "latency ms",
+                 "wire MB/s"],
         rows=rows,
         series=series,
         notes=("Paper shape: local validation gives up to 55% higher "

@@ -8,10 +8,11 @@ snapshot again, and diff. All rates are per second of **simulated** time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..histogram import LatencyHistogram
 from ..milana.client import MilanaClient
+from ..net.network import Network
 
 __all__ = [
     "StatsSnapshot",
@@ -42,6 +43,8 @@ class StatsSnapshot:
     latency_committed_total: float
     local_validations: int
     remote_validations: int
+    network_bytes: int = 0
+    messages_sent: int = 0
 
 
 @dataclass(frozen=True)
@@ -55,6 +58,8 @@ class WindowMetrics:
     mean_commit_latency: float
     local_validations: int
     remote_validations: int
+    network_bytes: int = 0
+    messages_sent: int = 0
 
     @property
     def decided(self) -> int:
@@ -69,10 +74,26 @@ class WindowMetrics:
         """Committed transactions per simulated second."""
         return self.committed / self.duration if self.duration else 0.0
 
+    @property
+    def network_bandwidth_used(self) -> float:
+        """Wire bytes per simulated second over the window."""
+        return self.network_bytes / self.duration if self.duration else 0.0
+
+    @property
+    def bytes_per_commit(self) -> float:
+        return self.network_bytes / self.committed if self.committed \
+            else 0.0
+
 
 def snapshot(sim_now: float,
-             clients: Sequence[MilanaClient]) -> StatsSnapshot:
-    """Capture the aggregate client counters right now."""
+             clients: Sequence[MilanaClient],
+             network: Optional[Network] = None) -> StatsSnapshot:
+    """Capture the aggregate client counters right now.
+
+    Passing the cluster's :class:`Network` also records the cumulative
+    wire traffic (bytes and message count) so window diffs can report
+    bandwidth usage.
+    """
     return StatsSnapshot(
         time=sim_now,
         started=sum(c.stats.started for c in clients),
@@ -84,6 +105,8 @@ def snapshot(sim_now: float,
         local_validations=sum(c.stats.local_validations for c in clients),
         remote_validations=sum(
             c.stats.remote_validations for c in clients),
+        network_bytes=network.stats.total_bytes if network else 0,
+        messages_sent=network.stats.messages_sent if network else 0,
     )
 
 
@@ -106,4 +129,6 @@ def window_metrics(before: StatsSnapshot,
                            - before.local_validations),
         remote_validations=(after.remote_validations
                             - before.remote_validations),
+        network_bytes=after.network_bytes - before.network_bytes,
+        messages_sent=after.messages_sent - before.messages_sent,
     )

@@ -64,9 +64,9 @@ def run_retwis_on_cluster(
     deadline = sim.now + warmup + duration
     procs = [instance.run(warmup + duration) for instance in instances]
     sim.run(until=sim.now + warmup)
-    before = snapshot(sim.now, cluster.clients)
+    before = snapshot(sim.now, cluster.clients, cluster.network)
     sim.run(until=deadline)
-    after = snapshot(sim.now, cluster.clients)
+    after = snapshot(sim.now, cluster.clients, cluster.network)
     # Let in-flight transactions drain so no process errors linger.
     for proc in procs:
         sim.run_until_event(proc)

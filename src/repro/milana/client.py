@@ -30,9 +30,17 @@ from ..sim.core import Simulator
 from ..sim.process import Process
 from ..semel.sharding import Directory
 from ..versioning import Version
+from ..wire import (
+    MilanaDecide,
+    MilanaGet,
+    MilanaPrepare,
+    TxnRecordWire,
+    WatermarkReport,
+)
 from .transaction import (
     ABORTED,
     COMMITTED,
+    PREPARED,
     ReadObservation,
     Transaction,
 )
@@ -87,8 +95,6 @@ class TxnStats:
 class MilanaClient:
     """One application-server client running MILANA transactions."""
 
-    _txn_counter = itertools.count(1)
-
     def __init__(
         self,
         sim: Simulator,
@@ -115,6 +121,10 @@ class MilanaClient:
         #: watermark contribution (§4.4).
         self.last_decided_timestamp = float("-inf")
         self._txn_start_times: Dict[str, float] = {}
+        # Per-instance so txn ids — and everything keyed on them — are
+        # independent of whatever other clients ran in this process.
+        # Uniqueness still holds: ids are namespaced by client_id.
+        self._txn_counter = itertools.count(1)
 
     # -- transaction lifecycle ------------------------------------------------
 
@@ -185,19 +195,19 @@ class MilanaClient:
         primary = self.directory.primary_of(key)
         reply = yield self.node.call(
             primary, "milana.get",
-            {"key": key, "timestamp": txn.ts_begin},
+            MilanaGet(key=key, timestamp=txn.ts_begin),
             timeout=self.rpc_timeout, retries=self.rpc_retries)
-        if reply.get("snapshot_miss"):
+        if reply.snapshot_miss:
             # The key exists but not at our snapshot (single-version
             # store discarded it): the transaction cannot read a
             # consistent snapshot and must abort.
             raise TransactionAborted(
                 f"snapshot at {txn.ts_begin} unavailable for {key!r}")
-        version = Version(*reply["version"]) if reply.get("found") else None
+        version = Version(*reply.version) if reply.found else None
         observation = ReadObservation(
             version=version,
-            prepared=reply["prepared"],
-            value=reply.get("value"),
+            prepared=reply.prepared,
+            value=reply.value,
         )
         txn.reads[key] = observation
         return observation.value
@@ -243,20 +253,22 @@ class MilanaClient:
         calls = []
         for shard_name in participants:
             reads, writes = by_shard[shard_name]
-            payload = {
-                "txn_id": txn.txn_id,
-                "client_id": self.client_id,
-                "client_name": self.name,
-                "ts_commit": txn.ts_commit,
-                "reads": reads,
-                "writes": writes,
-                "participants": participants,
-                "status": "PREPARED",
-                "prepared_at": 0.0,
-            }
+            request = MilanaPrepare(record=TxnRecordWire(
+                txn_id=txn.txn_id,
+                client_id=self.client_id,
+                client_name=self.name,
+                ts_commit=txn.ts_commit,
+                reads=tuple(
+                    (key, tuple(version) if version is not None else None)
+                    for key, version in reads),
+                writes=tuple(writes),
+                participants=tuple(participants),
+                status=PREPARED,
+                prepared_at=0.0,
+            ))
             primary = self.directory.shard(shard_name).primary
             calls.append((shard_name, self.sim.process(
-                self._prepare_one(primary, payload))))
+                self._prepare_one(primary, request))))
         for shard_name, call in calls:
             vote, reason = yield call
             votes[shard_name] = vote
@@ -270,8 +282,9 @@ class MilanaClient:
         # Report to the application first; notify participants async (§4.2).
         for shard_name in participants:
             primary = self.directory.shard(shard_name).primary
-            self.node.notify(primary, "milana.decide",
-                             {"txn_id": txn.txn_id, "outcome": outcome})
+            self.node.send_oneway(
+                primary, "milana.decide",
+                MilanaDecide(txn_id=txn.txn_id, outcome=outcome))
         txn.status = outcome
         if outcome == COMMITTED:
             self._decide_locally(txn)
@@ -280,14 +293,14 @@ class MilanaClient:
                 txn, reason=reasons[0] if reasons else "validation")
         return outcome
 
-    def _prepare_one(self, primary: str, payload: Dict[str, Any]):
+    def _prepare_one(self, primary: str, request: MilanaPrepare):
         try:
             reply = yield self.node.call(
-                primary, "milana.prepare", payload,
+                primary, "milana.prepare", request,
                 timeout=self.rpc_timeout, retries=self.rpc_retries)
         except RpcError as exc:
             return "ABORT", f"prepare failed at {primary}: {exc}"
-        return reply["vote"], reply.get("reason")
+        return reply.vote, reply.reason
 
     # -- bookkeeping ------------------------------------------------------------------
 
@@ -323,12 +336,10 @@ class MilanaClient:
         """Send the latest-decided timestamp to every storage server."""
         if self.last_decided_timestamp == float("-inf"):
             return
-        payload = {
-            "client_id": self.client_id,
-            "timestamp": self.last_decided_timestamp,
-        }
+        report = WatermarkReport(client_id=self.client_id,
+                                 timestamp=self.last_decided_timestamp)
         for server in self.directory.all_servers():
-            self.node.notify(server, "semel.watermark", payload)
+            self.node.send_oneway(server, "semel.watermark", report)
 
     def start_watermark_daemon(self, interval: float = 0.1) -> Process:
         return self.sim.process(self._watermark_loop(interval))

@@ -28,6 +28,7 @@ from typing import Any, Optional, Tuple
 from ..net.rpc import RpcError
 from ..sim.process import Process
 from ..versioning import Version
+from ..wire import MilanaGetUnvalidated
 from .client import MilanaClient, TransactionAborted
 from .transaction import ABORTED, ReadObservation, Transaction
 
@@ -160,20 +161,19 @@ class NearestReplicaClient(MilanaClient):
         try:
             reply = yield self.node.call(
                 replica, "milana.get_unvalidated",
-                {"key": key, "timestamp": txn.ts_begin},
+                MilanaGetUnvalidated(key=key, timestamp=txn.ts_begin),
                 timeout=self.rpc_timeout, retries=self.rpc_retries)
         except RpcError:
             # Fall back to the primary if the chosen replica is down.
             value = yield from self._txn_get(txn, key)
             return value
-        if reply.get("snapshot_miss"):
+        if reply.snapshot_miss:
             raise TransactionAborted(
                 f"snapshot at {txn.ts_begin} unavailable for {key!r}")
-        version = Version(*reply["version"]) if reply.get("found") \
-            else None
+        version = Version(*reply.version) if reply.found else None
         txn.reads[key] = ReadObservation(
-            version=version, prepared=False, value=reply.get("value"))
-        return reply.get("value")
+            version=version, prepared=False, value=reply.value)
+        return reply.value
 
     def commit(self, txn: Transaction) -> Process:
         if txn.read_write_hint:

@@ -15,6 +15,7 @@ from typing import Optional
 from ..net.rpc import RpcError
 from ..semel.replication import QuorumError, replicate_to_backups
 from ..sim.process import Process
+from ..wire import MilanaRenewLease
 
 __all__ = ["LeaseManager", "DEFAULT_LEASE_DURATION",
            "DEFAULT_LEASE_INTERVAL"]
@@ -68,7 +69,7 @@ class LeaseManager:
         try:
             yield from replicate_to_backups(
                 server.node, backups, "milana.renew_lease",
-                {"primary": server.name, "expiry": expiry},
+                MilanaRenewLease(primary=server.name, expiry=expiry),
                 need, timeout=server.replication_timeout)
         except (QuorumError, RpcError):
             self.renewal_failures += 1

@@ -23,6 +23,13 @@ from typing import Dict, List
 
 from ..net.rpc import RpcError
 from ..sim.process import Process
+from ..wire import (
+    MilanaDecide,
+    MilanaFetchLog,
+    MilanaReplicateTxn,
+    MilanaTxnStatus,
+    TxnRecordWire,
+)
 from .leases import DEFAULT_LEASE_DURATION
 from .server import MilanaServer
 from .transaction import ABORTED, COMMITTED, PREPARED, UNKNOWN, \
@@ -38,7 +45,7 @@ class RecoveryError(Exception):
 
 
 def merge_records(
-        logs: List[List[dict]]) -> Dict[str, TransactionRecord]:
+        logs: List[List[TxnRecordWire]]) -> Dict[str, TransactionRecord]:
     """Merge replica logs, keeping the most-decided status per txn.
 
     COMMITTED/ABORTED beat PREPARED: any replica that saw a decision
@@ -48,7 +55,7 @@ def merge_records(
     merged: Dict[str, TransactionRecord] = {}
     for log in logs:
         for wire in log:
-            record = TransactionRecord.from_wire(wire)
+            record = wire.to_record()
             existing = merged.get(record.txn_id)
             if (existing is None
                     or _STATUS_RANK[record.status]
@@ -79,8 +86,9 @@ def _recover(server: MilanaServer, lease_wait: float):
 
     # 1. Collect logs from reachable replicas (self included).
     shard = server.shard
-    logs: List[List[dict]] = [
-        [record.to_wire() for record in server.txn_table.values()]
+    logs: List[List[TxnRecordWire]] = [
+        [TxnRecordWire.from_record(record)
+         for record in server.txn_table.values()]
     ]
     reachable = 1
     for replica in shard.replicas:
@@ -88,11 +96,11 @@ def _recover(server: MilanaServer, lease_wait: float):
             continue
         try:
             reply = yield server.node.call(
-                replica, "milana.fetch_log", {},
+                replica, "milana.fetch_log", MilanaFetchLog(),
                 timeout=server.replication_timeout)
         except RpcError:
             continue
-        logs.append(reply["records"])
+        logs.append(list(reply.records))
         reachable += 1
     if reachable < shard.fault_tolerance + 1:
         raise RecoveryError(
@@ -124,8 +132,10 @@ def _recover(server: MilanaServer, lease_wait: float):
     #    records are already majority-durable).
     for record in server.txn_table.values():
         for backup in server.backups:
-            server.node.notify(backup, "milana.replicate_txn",
-                               record.to_wire())
+            server.node.send_oneway(
+                backup, "milana.replicate_txn",
+                MilanaReplicateTxn(
+                    record=TxnRecordWire.from_record(record)))
 
     # 5. Lease wait (§4.5): latest_read state died with the old primary;
     #    no stale read can have a timestamp beyond its lease horizon.
@@ -162,9 +172,10 @@ def _resolve_prepared(server: MilanaServer, record: TransactionRecord):
         primary = server.directory.shard(shard_name).primary
         try:
             reply = yield server.node.call(
-                primary, "milana.txn_status", {"txn_id": record.txn_id},
+                primary, "milana.txn_status",
+                MilanaTxnStatus(txn_id=record.txn_id),
                 timeout=server.replication_timeout)
-            statuses.append(reply["status"])
+            statuses.append(reply.status)
         except RpcError:
             unreachable = True
     if COMMITTED in statuses:
@@ -190,6 +201,6 @@ def _resolve_prepared(server: MilanaServer, record: TransactionRecord):
             if shard_name == server.shard_name:
                 continue
             primary = server.directory.shard(shard_name).primary
-            server.node.notify(primary, "milana.decide",
-                               {"txn_id": record.txn_id,
-                                "outcome": COMMITTED})
+            server.node.send_oneway(
+                primary, "milana.decide",
+                MilanaDecide(txn_id=record.txn_id, outcome=COMMITTED))

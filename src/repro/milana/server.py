@@ -33,6 +33,24 @@ from ..semel.replication import replicate_to_backups
 from ..semel.server import StorageServer
 from ..semel.sharding import Directory
 from ..sim.core import Simulator
+from ..wire import (
+    Ack,
+    MilanaDecide,
+    MilanaFetchLog,
+    MilanaFetchLogReply,
+    MilanaGet,
+    MilanaGetReply,
+    MilanaGetUnvalidated,
+    MilanaGetUnvalidatedReply,
+    MilanaPrepare,
+    MilanaPrepareReply,
+    MilanaRenewLease,
+    MilanaRenewLeaseReply,
+    MilanaReplicateTxn,
+    MilanaTxnStatus,
+    MilanaTxnStatusReply,
+    TxnRecordWire,
+)
 from .transaction import ABORTED, COMMITTED, PREPARED, UNKNOWN, \
     TransactionRecord
 from .validation import KeyStateTable, validate
@@ -73,6 +91,11 @@ class MilanaServer(StorageServer):
         #: refused while the lease is lapsed (§4.5: a primary serves gets
         #: only under a lease from f backups).
         self.lease_manager = None
+        #: txn_id -> completion event for a prepare/decide still being
+        #: processed, so a network-duplicated request coalesces with the
+        #: original instead of acking early (prepare: before the record
+        #: is quorum-durable) or double-applying writes (decide).
+        self._inflight_txn_ops: Dict[str, Any] = {}
         self._register_milana_handlers()
         if ctp_timeout is not None:
             self.ctp_timeout = ctp_timeout
@@ -119,10 +142,10 @@ class MilanaServer(StorageServer):
 
     # -- transactional reads --------------------------------------------------------
 
-    def _handle_txn_get(self, payload: Dict[str, Any]):
+    def _handle_txn_get(self, request: MilanaGet):
         self._require_serving()
-        key = payload["key"]
-        timestamp = payload["timestamp"]
+        key = request.key
+        timestamp = request.timestamp
         self._hydrate_committed(key)
         result = yield self.backend.get(key, max_timestamp=timestamp)
         state = self.key_states.get(key)
@@ -133,17 +156,13 @@ class MilanaServer(StorageServer):
             # on a single-version store a key may exist only at a version
             # newer than the snapshot — the reader must abort (Figure 6).
             snapshot_miss = self.backend.contains(key)
-            return {"found": False, "prepared": prepared_flag,
-                    "snapshot_miss": snapshot_miss}
+            return MilanaGetReply(found=False, prepared=prepared_flag,
+                                  snapshot_miss=snapshot_miss)
         version, value = result
-        return {
-            "found": True,
-            "version": tuple(version),
-            "value": value,
-            "prepared": prepared_flag,
-        }
+        return MilanaGetReply(found=True, version=tuple(version),
+                              value=value, prepared=prepared_flag)
 
-    def _handle_get_unvalidated(self, payload: Dict[str, Any]):
+    def _handle_get_unvalidated(self, request: MilanaGetUnvalidated):
         """Snapshot read served by ANY replica (§4.6's relaxation).
 
         Backups can serve reads for read-write transactions to spread
@@ -152,26 +171,35 @@ class MilanaServer(StorageServer):
         primary's read-set check catches both staleness from replication
         lag and concurrent committers.
         """
-        key = payload["key"]
-        timestamp = payload["timestamp"]
-        result = yield self.backend.get(key, max_timestamp=timestamp)
+        key = request.key
+        result = yield self.backend.get(key,
+                                        max_timestamp=request.timestamp)
         if result is None:
             snapshot_miss = self.backend.contains(key)
-            return {"found": False, "snapshot_miss": snapshot_miss}
+            return MilanaGetUnvalidatedReply(found=False,
+                                             snapshot_miss=snapshot_miss)
         version, value = result
-        return {"found": True, "version": tuple(version), "value": value}
+        return MilanaGetUnvalidatedReply(found=True,
+                                         version=tuple(version),
+                                         value=value)
 
     # -- two-phase commit: prepare ------------------------------------------------------
 
-    def _handle_prepare(self, payload: Dict[str, Any]):
+    def _handle_prepare(self, request: MilanaPrepare):
         self._require_serving()
-        record = TransactionRecord.from_wire(payload)
+        record = request.record.to_record()
+        inflight = self._inflight_txn_ops.get(record.txn_id)
+        if inflight is not None:
+            # A duplicate of a prepare still replicating: wait for the
+            # original so the vote below is only repeated once the record
+            # is quorum-durable.
+            yield inflight
         existing = self.txn_table.get(record.txn_id)
         if existing is not None:
             # Retransmitted prepare: repeat the recorded vote.
             vote = "SUCCESS" if existing.status in (PREPARED, COMMITTED) \
                 else "ABORT"
-            return {"vote": vote}
+            return MilanaPrepareReply(vote=vote)
         for key, _ in list(record.reads) + list(record.writes):
             self._hydrate_committed(key)
         result = validate(record, self.key_states)
@@ -179,32 +207,50 @@ class MilanaServer(StorageServer):
             self.validation_failures += 1
             record.status = ABORTED
             self.txn_table[record.txn_id] = record
-            return {"vote": "ABORT", "reason": result.reason}
+            return MilanaPrepareReply(vote="ABORT", reason=result.reason)
         record.status = PREPARED
         record.prepared_at = self.sim.now
         self.txn_table[record.txn_id] = record
         for key, _value in record.writes:
             self.key_states.mark_prepared(key, record.txn_id,
                                           record.ts_commit)
-        yield from self._replicate_txn_record(record)
-        return {"vote": "SUCCESS"}
+        done = self.sim.event()
+        self._inflight_txn_ops[record.txn_id] = done
+        try:
+            yield from self._replicate_txn_record(record)
+        finally:
+            del self._inflight_txn_ops[record.txn_id]
+            done.succeed()
+        return MilanaPrepareReply(vote="SUCCESS")
 
     # -- two-phase commit: decide ----------------------------------------------------------
 
-    def _handle_decide(self, payload: Dict[str, Any]):
-        record = self.txn_table.get(payload["txn_id"])
-        outcome = payload["outcome"]
+    def _handle_decide(self, request: MilanaDecide):
+        inflight = self._inflight_txn_ops.get(request.txn_id)
+        if inflight is not None:
+            # A duplicate racing the original decide (or a decide racing
+            # the prepare's replication): coalesce — the status check
+            # below then sees the settled state instead of re-applying.
+            yield inflight
+        record = self.txn_table.get(request.txn_id)
+        outcome = request.outcome
         if record is None or record.status in (COMMITTED, ABORTED):
             yield from ()
-            return {"ack": True}
-        if outcome == COMMITTED:
-            yield from self._apply_commit(record)
-        elif outcome == ABORTED:
-            self._apply_abort(record)
-            yield from self._replicate_txn_record(record)
-        else:
+            return Ack()
+        if outcome not in (COMMITTED, ABORTED):
             raise AppError(f"bad outcome {outcome!r}")
-        return {"ack": True}
+        done = self.sim.event()
+        self._inflight_txn_ops[request.txn_id] = done
+        try:
+            if outcome == COMMITTED:
+                yield from self._apply_commit(record)
+            else:
+                self._apply_abort(record)
+                yield from self._replicate_txn_record(record)
+        finally:
+            del self._inflight_txn_ops[request.txn_id]
+            done.succeed()
+        return Ack()
 
     def _apply_commit(self, record: TransactionRecord):
         """Make a prepared transaction's writes visible, then durable.
@@ -247,49 +293,51 @@ class MilanaServer(StorageServer):
         if need <= 0:
             return
         yield from replicate_to_backups(
-            self.node, backups, "milana.replicate_txn", record.to_wire(),
+            self.node, backups, "milana.replicate_txn",
+            MilanaReplicateTxn(record=TxnRecordWire.from_record(record)),
             need, timeout=self.replication_timeout)
 
-    def _handle_replicate_txn(self, payload: Dict[str, Any]):
+    def _handle_replicate_txn(self, request: MilanaReplicateTxn):
         """Backup side: store the record; apply writes once committed.
 
         Records may arrive in any order (prepare after commit, commits
         out of timestamp order) — §3.2's relaxed backup updates. Status
         only ever moves forward (PREPARED -> COMMITTED/ABORTED).
         """
-        record = TransactionRecord.from_wire(payload)
+        record = request.record.to_record()
         existing = self.txn_table.get(record.txn_id)
         if existing is not None and existing.status in (COMMITTED, ABORTED):
             yield from ()
-            return {"ack": True}
+            return Ack()
         self.txn_table[record.txn_id] = record
         if record.status == COMMITTED:
             version = record.commit_version_of
             for key, value in record.writes:
                 if version not in self.backend.versions_of(key):
                     yield self.backend.put(key, value, version)
-        return {"ack": True}
+        return Ack()
 
     # -- status queries (CTP / recovery) ------------------------------------------------------
 
-    def _handle_txn_status(self, payload: Dict[str, Any]):
-        record = self.txn_table.get(payload["txn_id"])
+    def _handle_txn_status(self, request: MilanaTxnStatus):
+        record = self.txn_table.get(request.txn_id)
         yield from ()
         if record is None:
-            return {"status": UNKNOWN}
-        return {"status": record.status}
+            return MilanaTxnStatusReply(status=UNKNOWN)
+        return MilanaTxnStatusReply(status=record.status)
 
-    def _handle_fetch_log(self, payload: Dict[str, Any]):
+    def _handle_fetch_log(self, request: MilanaFetchLog):
         yield from ()
-        return {"records": [record.to_wire()
-                            for record in self.txn_table.values()]}
+        return MilanaFetchLogReply(records=tuple(
+            TxnRecordWire.from_record(record)
+            for record in self.txn_table.values()))
 
     # -- leases (§4.5) ----------------------------------------------------------------------------
 
-    def _handle_renew_lease(self, payload: Dict[str, Any]):
+    def _handle_renew_lease(self, request: MilanaRenewLease):
         yield from ()
-        self.granted_leases[payload["primary"]] = payload["expiry"]
-        return {"granted": True}
+        self.granted_leases[request.primary] = request.expiry
+        return MilanaRenewLeaseReply(granted=True)
 
     # -- cooperative termination (§4.5, client failure) ----------------------------------------------
 
@@ -318,12 +366,12 @@ class MilanaServer(StorageServer):
             try:
                 reply = yield self.node.call(
                     primary, "milana.txn_status",
-                    {"txn_id": record.txn_id},
+                    MilanaTxnStatus(txn_id=record.txn_id),
                     timeout=self.replication_timeout)
             except RpcError:
                 # Unreachable participant: cannot decide yet; retry later.
                 return
-            statuses.append(reply["status"])
+            statuses.append(reply.status)
         if record.status != PREPARED:
             return  # decided while we were querying
         if COMMITTED in statuses:
@@ -345,5 +393,6 @@ class MilanaServer(StorageServer):
             if shard_name == self.shard_name:
                 continue
             primary = self.directory.shard(shard_name).primary
-            self.node.notify(primary, "milana.decide",
-                             {"txn_id": record.txn_id, "outcome": outcome})
+            self.node.send_oneway(
+                primary, "milana.decide",
+                MilanaDecide(txn_id=record.txn_id, outcome=outcome))

@@ -10,6 +10,7 @@ replication protocol must tolerate by design.
 from __future__ import annotations
 
 import abc
+from typing import Optional
 
 from ..sim.rng import SeededRng
 
@@ -22,17 +23,35 @@ __all__ = [
 
 
 class LatencyModel(abc.ABC):
-    """Samples a one-way message delay in seconds."""
+    """Samples a one-way message delay in seconds.
+
+    ``bandwidth`` (bytes/second) adds a size-proportional transmission
+    delay on top of the propagation draw; the default ``None`` charges
+    nothing, preserving the pure-latency behaviour.
+    """
+
+    def __init__(self, bandwidth: Optional[float] = None) -> None:
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.bandwidth = bandwidth
 
     @abc.abstractmethod
     def sample(self, rng: SeededRng) -> float:
         """One delay draw."""
 
+    def transmission_delay(self, size: int) -> float:
+        """Seconds to push ``size`` wire bytes through the link."""
+        if self.bandwidth is None or size <= 0:
+            return 0.0
+        return size / self.bandwidth
+
 
 class FixedLatency(LatencyModel):
     """Constant one-way delay (useful for deterministic tests)."""
 
-    def __init__(self, delay: float) -> None:
+    def __init__(self, delay: float,
+                 bandwidth: Optional[float] = None) -> None:
+        super().__init__(bandwidth=bandwidth)
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
         self.delay = delay
@@ -49,7 +68,9 @@ class JitteredLatency(LatencyModel):
     """
 
     def __init__(self, base: float, jitter_fraction: float = 0.2,
-                 floor: float = 1e-6) -> None:
+                 floor: float = 1e-6,
+                 bandwidth: Optional[float] = None) -> None:
+        super().__init__(bandwidth=bandwidth)
         if base <= 0:
             raise ValueError(f"base must be positive, got {base}")
         if jitter_fraction < 0:

@@ -13,12 +13,14 @@ messages may therefore arrive out of order. Failure injection:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Set
 
 from ..sim.core import Simulator
 from ..sim.resources import Store
 from ..sim.rng import SeededRng
+from ..wire.sizing import wire_size_of
 from .latency import DEFAULT_DATACENTER_LATENCY, LatencyModel
 
 __all__ = ["Network", "NetworkStats"]
@@ -32,7 +34,15 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped: int = 0
     messages_duplicated: int = 0
+    #: (src, dst) -> bytes put on that edge (duplicates charged twice;
+    #: messages dropped at send time never reach the wire, so they are
+    #: not charged).
     bytes_by_edge: Dict[tuple, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes transmitted, summed over edges."""
+        return sum(self.bytes_by_edge.values())
 
 
 class Network:
@@ -63,6 +73,13 @@ class Network:
         self.tracer = None
         self._inboxes: Dict[str, Store] = {}
         self._crashed: Set[str] = set()
+        # Per-network RPC request ids: identical seeds give identical
+        # traces regardless of what other Simulators ran in-process.
+        self._request_ids = itertools.count(1)
+
+    def next_request_id(self) -> int:
+        """A fresh RPC request id, scoped to this network."""
+        return next(self._request_ids)
 
     # -- membership ----------------------------------------------------------
 
@@ -105,20 +122,26 @@ class Network:
                 self.tracer.record("net", "drop", src=src, dst=dst,
                                    reason="crashed endpoint")
             return
+        size = wire_size_of(message)
         if self.tracer is not None:
             self.tracer.record("net", "send", src=src, dst=dst,
-                               kind=type(message).__name__)
-        self._schedule_delivery(src, dst, message)
+                               kind=type(message).__name__, size=size)
+        self._schedule_delivery(src, dst, message, size)
         if (self.duplicate_probability > 0
                 and self.rng.random() < self.duplicate_probability):
             self.stats.messages_duplicated += 1
-            self._schedule_delivery(src, dst, message)
+            self._schedule_delivery(src, dst, message, size)
 
-    def _schedule_delivery(self, src: str, dst: str, message: Any) -> None:
+    def _schedule_delivery(self, src: str, dst: str, message: Any,
+                           size: int) -> None:
         if self.topology is not None:
             delay = self.topology.latency_between(src, dst, self.rng)
         else:
             delay = self.latency.sample(self.rng)
+        delay += self.latency.transmission_delay(size)
+        edge = (src, dst)
+        self.stats.bytes_by_edge[edge] = \
+            self.stats.bytes_by_edge.get(edge, 0) + size
         self.sim.process(self._deliver(src, dst, message, delay))
 
     def _deliver(self, src: str, dst: str, message: Any, delay: float):

@@ -1,21 +1,29 @@
 """Request/response RPC over the simulated network.
 
 An :class:`RpcNode` owns a network inbox, a dispatch loop, and a handler
-registry. Calls carry globally unique request ids; retransmissions reuse
-the id, so servers see duplicates exactly the way SEMEL's idempotence
-machinery expects (§3.3). One-way messages (watermark broadcasts, async
-commit notifications) skip the response path entirely.
+registry. Calls carry request ids unique per :class:`Network`;
+retransmissions reuse the id, so servers see duplicates exactly the way
+SEMEL's idempotence machinery expects (§3.3). One-way messages
+(watermark broadcasts, async commit notifications) skip the response
+path entirely.
+
+Methods listed in the :mod:`repro.wire` registry are type-checked at
+both ends: ``call``/``send_oneway`` reject request payloads that are not
+the registered request message, and ``_serve`` turns a mistyped handler
+result into an error response. Ad-hoc (non-dotted) methods — used by
+net-layer tests and demos — bypass the registry.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 from ..sim.core import Simulator
 from ..sim.events import Event
 from ..sim.process import Process
+from ..wire.registry import spec_for
+from ..wire.sizing import LENGTH_PREFIX_SIZE, SCALAR_SIZE, payload_size
 from .network import Network
 
 __all__ = [
@@ -32,7 +40,8 @@ __all__ = [
 #: so this mostly bounds failure detection time in recovery tests.
 DEFAULT_RPC_TIMEOUT = 10e-3
 
-_request_ids = itertools.count(1)
+#: Envelope overhead: request id (8) + ok/oneway flag (1).
+_ENVELOPE_SIZE = SCALAR_SIZE + 1
 
 
 class RpcError(Exception):
@@ -55,12 +64,31 @@ class Request:
     payload: Any
     oneway: bool = False
 
+    def wire_size(self) -> int:
+        """Envelope + addressing + method tag + payload bytes."""
+        return (_ENVELOPE_SIZE
+                + LENGTH_PREFIX_SIZE + len(self.src.encode("utf-8"))
+                + LENGTH_PREFIX_SIZE + len(self.method.encode("utf-8"))
+                + payload_size(self.payload))
+
 
 @dataclass(frozen=True)
 class Response:
     request_id: int
     ok: bool
     payload: Any
+
+    def wire_size(self) -> int:
+        """Envelope + payload bytes."""
+        return _ENVELOPE_SIZE + payload_size(self.payload)
+
+
+def _check_request_payload(method: str, payload: Any) -> None:
+    spec = spec_for(method)
+    if spec is not None and not isinstance(payload, spec.request):
+        raise TypeError(
+            f"{method} request payload must be {spec.request.__name__}, "
+            f"got {type(payload).__name__}")
 
 
 class RpcNode:
@@ -83,9 +111,18 @@ class RpcNode:
 
     def register(self, method: str, handler: Callable) -> None:
         """Register a generator function ``handler(payload)`` for
-        ``method``; its return value becomes the response payload."""
+        ``method``; its return value becomes the response payload.
+
+        Dotted method names are protocol surface and must exist in the
+        :mod:`repro.wire` registry; bare names are ad-hoc (tests, demos)
+        and are accepted as-is.
+        """
         if method in self._handlers:
             raise ValueError(f"handler for {method!r} already registered")
+        if "." in method and spec_for(method) is None:
+            raise ValueError(
+                f"{method!r} is not in the repro.wire registry; add a "
+                f"MethodSpec before registering a handler")
         self._handlers[method] = handler
 
     def _trace(self, message: str, **fields):
@@ -119,6 +156,12 @@ class RpcNode:
             return
         try:
             result = yield from handler(request.payload)
+            spec = spec_for(request.method)
+            if spec is not None and not isinstance(result, spec.response):
+                raise TypeError(
+                    f"{request.method} handler must return "
+                    f"{spec.response.__name__}, got "
+                    f"{type(result).__name__}")
         except AppError as exc:
             if not request.oneway:
                 self.network.send(self.name, request.src, Response(
@@ -152,18 +195,23 @@ class RpcNode:
         :class:`AppError` if the handler rejected the request. Retries
         reuse the request id, so the callee can deduplicate.
         """
+        _check_request_payload(method, payload)
         return self.sim.process(
             self._call(dst, method, payload, timeout, retries))
 
-    def notify(self, dst: str, method: str, payload: Any = None) -> None:
+    def send_oneway(self, dst: str, method: str, payload: Any = None) -> None:
         """Fire-and-forget one-way message."""
-        request = Request(next(_request_ids), self.name, method, payload,
-                          oneway=True)
+        _check_request_payload(method, payload)
+        request = Request(self.network.next_request_id(), self.name,
+                          method, payload, oneway=True)
         self.network.send(self.name, dst, request)
+
+    #: Historical name for :meth:`send_oneway`.
+    notify = send_oneway
 
     def _call(self, dst: str, method: str, payload: Any,
               timeout: float, retries: int):
-        request_id = next(_request_ids)
+        request_id = self.network.next_request_id()
         request = Request(request_id, self.name, method, payload)
         attempts = 1 + max(0, retries)
         for attempt in range(attempts):

@@ -26,6 +26,13 @@ from ..net.rpc import RpcNode
 from ..sim.core import Simulator
 from ..sim.process import Process
 from ..versioning import Version
+from ..wire import (
+    SemelDelete,
+    SemelGet,
+    SemelGetHistory,
+    SemelPut,
+    WatermarkReport,
+)
 from .sharding import Directory
 
 __all__ = ["SemelClient", "DEFAULT_WATERMARK_INTERVAL"]
@@ -97,18 +104,18 @@ class SemelClient:
         primary = self.directory.primary_of(key)
         reply = yield self.node.call(
             primary, "semel.get_history",
-            {"key": key, "from_timestamp": from_timestamp,
-             "to_timestamp": to_timestamp},
+            SemelGetHistory(key=key, from_timestamp=from_timestamp,
+                            to_timestamp=to_timestamp),
             timeout=self.rpc_timeout, retries=self.rpc_retries)
         return [(Version(*version), value)
-                for version, value in reply["versions"]]
+                for version, value in reply.versions]
 
     def _put(self, key: str, value: Any):
         version = Version(self.clock.now(), self.client_id)
         primary = self.directory.primary_of(key)
         yield self.node.call(
             primary, "semel.put",
-            {"key": key, "value": value, "version": tuple(version)},
+            SemelPut(key=key, value=value, version=tuple(version)),
             timeout=self.rpc_timeout, retries=self.rpc_retries)
         self._acked(version.timestamp)
         return version
@@ -118,17 +125,17 @@ class SemelClient:
         primary = self.directory.primary_of(key)
         reply = yield self.node.call(
             primary, "semel.get",
-            {"key": key, "max_timestamp": max_timestamp},
+            SemelGet(key=key, max_timestamp=max_timestamp),
             timeout=self.rpc_timeout, retries=self.rpc_retries)
         self._acked(max_timestamp)
-        if not reply["found"]:
+        if not reply.found:
             return None
-        return Version(*reply["version"]), reply["value"]
+        return Version(*reply.version), reply.value
 
     def _delete(self, key: str):
         primary = self.directory.primary_of(key)
         yield self.node.call(
-            primary, "semel.delete", {"key": key},
+            primary, "semel.delete", SemelDelete(key=key),
             timeout=self.rpc_timeout, retries=self.rpc_retries)
         self._acked(self.clock.now())
 
@@ -142,12 +149,10 @@ class SemelClient:
         """Send this client's low-water timestamp to every server."""
         if self.last_acked_timestamp == float("-inf"):
             return
-        payload = {
-            "client_id": self.client_id,
-            "timestamp": self.last_acked_timestamp,
-        }
+        report = WatermarkReport(client_id=self.client_id,
+                                 timestamp=self.last_acked_timestamp)
         for server in self.directory.all_servers():
-            self.node.notify(server, "semel.watermark", payload)
+            self.node.send_oneway(server, "semel.watermark", report)
 
     def start_watermark_daemon(
             self, interval: float = DEFAULT_WATERMARK_INTERVAL) -> Process:

@@ -30,6 +30,12 @@ from ..net.network import Network
 from ..net.rpc import RpcNode
 from ..sim.core import Simulator
 from ..sim.process import Process
+from ..wire import (
+    MasterHeartbeat,
+    MasterHeartbeatReply,
+    MasterLookup,
+    MasterLookupReply,
+)
 from .sharding import Directory
 
 __all__ = ["Master", "HeartbeatReporter", "DEFAULT_HEARTBEAT_INTERVAL",
@@ -96,39 +102,35 @@ class Master:
 
     # -- handlers ----------------------------------------------------------------
 
-    def _handle_heartbeat(self, payload):
+    def _handle_heartbeat(self, request: MasterHeartbeat):
         yield from ()
-        server = payload["server"]
-        health = self._health.setdefault(server, _ServerHealth())
+        health = self._health.setdefault(request.server, _ServerHealth())
         health.last_heartbeat = self.sim.now
         if not health.alive:
             health.alive = True
-        return {"epoch": self.epochs.get(payload.get("shard"), 0)}
+        return MasterHeartbeatReply(
+            epoch=self.epochs.get(request.shard, 0))
 
-    def _handle_lookup(self, payload):
+    def _handle_lookup(self, request: MasterLookup):
         """Serve the shard map over RPC (clients normally read the cached
         directory object; this is the cold-start / refresh path)."""
         yield from ()
-        key = payload.get("key")
-        if key is not None:
-            shard = self.directory.shard_of(key)
-            return {
-                "shard": shard.name,
-                "primary": shard.primary,
-                "replicas": list(shard.replicas),
-                "epoch": self.epochs[shard.name],
+        if request.key is not None:
+            shard = self.directory.shard_of(request.key)
+            return MasterLookupReply(
+                shard=shard.name,
+                primary=shard.primary,
+                replicas=tuple(shard.replicas),
+                epoch=self.epochs[shard.name],
+            )
+        return MasterLookupReply(shards={
+            name: {
+                "primary": self.directory.shard(name).primary,
+                "replicas": list(self.directory.shard(name).replicas),
+                "epoch": self.epochs[name],
             }
-        return {
-            "shards": {
-                name: {
-                    "primary": self.directory.shard(name).primary,
-                    "replicas": list(
-                        self.directory.shard(name).replicas),
-                    "epoch": self.epochs[name],
-                }
-                for name in self.directory.shard_names
-            }
-        }
+            for name in self.directory.shard_names
+        })
 
     # -- failure detection -------------------------------------------------------------
 
@@ -218,8 +220,8 @@ class HeartbeatReporter:
 
     def _loop(self):
         while True:
-            self.server.node.notify(self.master_name, "master.heartbeat", {
-                "server": self.server.name,
-                "shard": self.server.shard_name,
-            })
+            self.server.node.send_oneway(
+                self.master_name, "master.heartbeat",
+                MasterHeartbeat(server=self.server.name,
+                                shard=self.server.shard_name))
             yield self.server.sim.timeout(self.interval)

@@ -26,6 +26,19 @@ from ..net.network import Network
 from ..net.rpc import AppError, RpcNode
 from ..sim.core import Simulator
 from ..versioning import Version
+from ..wire import (
+    Ack,
+    SemelDelete,
+    SemelDeleteReply,
+    SemelGet,
+    SemelGetHistory,
+    SemelGetHistoryReply,
+    SemelGetReply,
+    SemelPut,
+    SemelPutReply,
+    SemelReplicate,
+    WatermarkReport,
+)
 from .replication import replicate_to_backups
 from .sharding import Directory
 from .watermark import WatermarkTracker
@@ -99,34 +112,30 @@ class StorageServer:
 
     # -- handlers --------------------------------------------------------------
 
-    def _handle_get(self, payload: Dict[str, Any]):
+    def _handle_get(self, request: SemelGet):
         self._require_primary()
-        key = payload["key"]
-        max_timestamp = payload.get("max_timestamp")
-        result = yield self.backend.get(key, max_timestamp=max_timestamp)
+        result = yield self.backend.get(
+            request.key, max_timestamp=request.max_timestamp)
         if result is None:
-            return {"found": False}
+            return SemelGetReply(found=False)
         version, value = result
-        return {"found": True, "version": tuple(version), "value": value}
+        return SemelGetReply(found=True, version=tuple(version),
+                             value=value)
 
-    def _handle_get_history(self, payload: Dict[str, Any]):
+    def _handle_get_history(self, request: SemelGetHistory):
         """Snapshot-history read for analytics (§3.1's tunable-window
         motivation): every retained version of a key in a time range."""
         self._require_primary()
         history = yield self.backend.get_history(
-            payload["key"], payload["from_timestamp"],
-            payload["to_timestamp"])
-        return {
-            "versions": [
-                (tuple(version), value) for version, value in history
-            ],
-        }
+            request.key, request.from_timestamp, request.to_timestamp)
+        return SemelGetHistoryReply(versions=tuple(
+            (tuple(version), value) for version, value in history))
 
-    def _handle_put(self, payload: Dict[str, Any]):
+    def _handle_put(self, request: SemelPut):
         self._require_primary()
-        key = payload["key"]
-        value = payload["value"]
-        version = Version(*payload["version"])
+        key = request.key
+        value = request.value
+        version = Version(*request.version)
         inflight_key = (key, version)
         inflight = self._inflight_puts.get(inflight_key)
         if inflight is not None:
@@ -134,12 +143,12 @@ class StorageServer:
             # original to finish and repeat its response.
             self.puts_deduplicated += 1
             yield inflight
-            return {"applied": True, "duplicate": True}
+            return SemelPutReply(applied=True, duplicate=True)
         existing = self.backend.versions_of(key)
         if version in existing:
             # Retransmitted request: repeat the earlier success response.
             self.puts_deduplicated += 1
-            return {"applied": True, "duplicate": True}
+            return SemelPutReply(applied=True, duplicate=True)
         if existing and version < existing[0]:
             # §3.3: a timestamp comparison blocks stale writes; the client
             # receives a rejection but at-most-once semantics hold.
@@ -150,28 +159,25 @@ class StorageServer:
         self._inflight_puts[inflight_key] = done
         try:
             yield self.backend.put(key, value, version)
-            yield from self._replicate({
-                "op": "put", "key": key, "value": value,
-                "version": tuple(version),
-            })
+            yield from self._replicate(SemelReplicate(
+                op="put", key=key, value=value, version=tuple(version)))
         finally:
             del self._inflight_puts[inflight_key]
             done.succeed()
-        return {"applied": True, "duplicate": False}
+        return SemelPutReply(applied=True, duplicate=False)
 
-    def _handle_delete(self, payload: Dict[str, Any]):
+    def _handle_delete(self, request: SemelDelete):
         self._require_primary()
-        key = payload["key"]
-        yield self.backend.delete(key)
-        yield from self._replicate({"op": "delete", "key": key})
-        return {"applied": True}
+        yield self.backend.delete(request.key)
+        yield from self._replicate(SemelReplicate(
+            op="delete", key=request.key))
+        return SemelDeleteReply(applied=True)
 
-    def _handle_replicate(self, payload: Dict[str, Any]):
+    def _handle_replicate(self, request: SemelReplicate):
         """Backup-side application of an unordered replication record."""
-        op = payload["op"]
-        key = payload["key"]
-        if op == "put":
-            version = Version(*payload["version"])
+        key = request.key
+        if request.op == "put":
+            version = Version(*request.version)
             inflight_key = ("replicate", key, version)
             inflight = self._inflight_puts.get(inflight_key)
             if inflight is not None:
@@ -180,27 +186,27 @@ class StorageServer:
                 done = self.sim.event()
                 self._inflight_puts[inflight_key] = done
                 try:
-                    yield self.backend.put(key, payload["value"], version)
+                    yield self.backend.put(key, request.value, version)
                 finally:
                     del self._inflight_puts[inflight_key]
                     done.succeed()
-        elif op == "delete":
+        elif request.op == "delete":
             yield self.backend.delete(key)
         else:
-            raise AppError(f"unknown replication op {op!r}")
-        return {"ack": True}
+            raise AppError(f"unknown replication op {request.op!r}")
+        return Ack()
 
-    def _handle_watermark(self, payload: Dict[str, Any]):
-        self.watermarks.report(payload["client_id"], payload["timestamp"])
+    def _handle_watermark(self, request: WatermarkReport):
+        self.watermarks.report(request.client_id, request.timestamp)
         watermark = self.watermarks.watermark
         if watermark > float("-inf"):
             self.backend.set_watermark(watermark)
         yield from ()  # handler protocol: must be a generator
-        return {"ack": True}
+        return Ack()
 
     # -- replication ---------------------------------------------------------------
 
-    def _replicate(self, record: Dict[str, Any]):
+    def _replicate(self, record: SemelReplicate):
         backups = self.backups
         need = min(self.quorum_acks, len(backups))
         if need <= 0:

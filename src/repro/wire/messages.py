@@ -1,0 +1,427 @@
+"""Typed wire messages for every RPC method in the reproduction.
+
+One frozen dataclass per request and per reply, with value semantics
+(tuples, not lists) so a message cannot alias mutable state across the
+simulated wire. Every message knows its own deterministic byte size
+(:meth:`WireMessage.wire_size`), which the network charges as
+transmission delay and per-edge byte counters.
+
+``to_wire()``/``from_wire()`` round-trip a message through a plain-dict
+form — the shape a real serializer would see — and are exercised by
+:func:`repro.wire.registry.validate_registry` and ``repro wire --check``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .sizing import payload_size
+
+__all__ = [
+    "WireMessage",
+    "Ack",
+    "SemelGet",
+    "SemelGetReply",
+    "SemelGetHistory",
+    "SemelGetHistoryReply",
+    "SemelPut",
+    "SemelPutReply",
+    "SemelDelete",
+    "SemelDeleteReply",
+    "SemelReplicate",
+    "WatermarkReport",
+    "TxnRecordWire",
+    "MilanaGet",
+    "MilanaGetReply",
+    "MilanaGetUnvalidated",
+    "MilanaGetUnvalidatedReply",
+    "MilanaPrepare",
+    "MilanaPrepareReply",
+    "MilanaDecide",
+    "MilanaTxnStatus",
+    "MilanaTxnStatusReply",
+    "MilanaFetchLog",
+    "MilanaFetchLogReply",
+    "MilanaReplicateTxn",
+    "MilanaRenewLease",
+    "MilanaRenewLeaseReply",
+    "MasterHeartbeat",
+    "MasterHeartbeatReply",
+    "MasterLookup",
+    "MasterLookupReply",
+]
+
+#: Per-message type tag a schema'd encoding would transmit.
+_MESSAGE_HEADER = 2
+
+
+def _encode(value: Any) -> Any:
+    """Recursively turn nested messages into their plain-dict form."""
+    if isinstance(value, WireMessage):
+        return value.to_wire()
+    if isinstance(value, tuple):
+        return tuple(_encode(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """Base class: a frozen, self-sizing protocol message."""
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Plain-dict form (nested messages become dicts too)."""
+        return {
+            f.name: _encode(getattr(self, f.name))
+            for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "WireMessage":
+        """Rebuild from :meth:`to_wire` output. Subclasses with nested
+        or sequence-typed fields override this to re-coerce them."""
+        return cls(**payload)
+
+    def wire_size(self) -> int:
+        """Modelled size in bytes: type tag + field payloads."""
+        return _MESSAGE_HEADER + sum(
+            payload_size(getattr(self, f.name))
+            for f in dataclasses.fields(self))
+
+
+@dataclass(frozen=True)
+class Ack(WireMessage):
+    """Generic positive acknowledgement (replication, decide, watermark)."""
+
+    ack: bool = True
+
+
+# -- SEMEL single-key operations (§3.3) ------------------------------------
+
+
+@dataclass(frozen=True)
+class SemelGet(WireMessage):
+    """``semel.get``: youngest version of ``key`` at or below the bound."""
+
+    key: str
+    max_timestamp: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SemelGetReply(WireMessage):
+    found: bool
+    version: Optional[Tuple[float, int]] = None
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class SemelGetHistory(WireMessage):
+    """``semel.get_history``: all retained versions in a time range."""
+
+    key: str
+    from_timestamp: float
+    to_timestamp: float
+
+
+@dataclass(frozen=True)
+class SemelGetHistoryReply(WireMessage):
+    #: ((version tuple, value), ...) oldest first.
+    versions: Tuple[Tuple[Any, Any], ...] = ()
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "SemelGetHistoryReply":
+        return cls(versions=tuple(
+            (tuple(version), value)
+            for version, value in payload["versions"]))
+
+
+@dataclass(frozen=True)
+class SemelPut(WireMessage):
+    """``semel.put``: write ``value`` under a client-stamped version."""
+
+    key: str
+    value: Any
+    version: Tuple[float, int]
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "SemelPut":
+        return cls(key=payload["key"], value=payload["value"],
+                   version=tuple(payload["version"]))
+
+
+@dataclass(frozen=True)
+class SemelPutReply(WireMessage):
+    applied: bool
+    duplicate: bool = False
+
+
+@dataclass(frozen=True)
+class SemelDelete(WireMessage):
+    """``semel.delete``: drop every version of ``key``."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class SemelDeleteReply(WireMessage):
+    applied: bool = True
+
+
+@dataclass(frozen=True)
+class SemelReplicate(WireMessage):
+    """``semel.replicate``: one unordered primary→backup record (§3.2)."""
+
+    op: str  # "put" | "delete"
+    key: str
+    value: Any = None
+    version: Optional[Tuple[float, int]] = None
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "SemelReplicate":
+        version = payload.get("version")
+        return cls(op=payload["op"], key=payload["key"],
+                   value=payload.get("value"),
+                   version=tuple(version) if version is not None else None)
+
+
+@dataclass(frozen=True)
+class WatermarkReport(WireMessage):
+    """``semel.watermark`` (one-way): a client's GC low-water mark."""
+
+    client_id: int
+    timestamp: float
+
+
+# -- MILANA transactions (§4) ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class TxnRecordWire(WireMessage):
+    """Wire form of a transaction record (prepare payloads, backup logs).
+
+    The mutable server-side twin is
+    :class:`repro.milana.transaction.TransactionRecord`; this class is
+    the immutable value that actually crosses the network, so a backup
+    can never alias the primary's record object.
+    """
+
+    txn_id: str
+    client_id: int
+    client_name: str
+    ts_commit: float
+    #: ((key, observed version tuple or None), ...) for this shard.
+    reads: Tuple[Tuple[str, Optional[Tuple[float, int]]], ...]
+    #: ((key, value), ...) for this shard.
+    writes: Tuple[Tuple[str, Any], ...]
+    #: Every participant shard name (CTP and recovery need them all).
+    participants: Tuple[str, ...]
+    status: str
+    prepared_at: float = 0.0
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "TxnRecordWire":
+        return cls(
+            txn_id=payload["txn_id"],
+            client_id=payload["client_id"],
+            client_name=payload["client_name"],
+            ts_commit=payload["ts_commit"],
+            reads=tuple(
+                (key, tuple(version) if version is not None else None)
+                for key, version in payload["reads"]),
+            writes=tuple(
+                (key, value) for key, value in payload["writes"]),
+            participants=tuple(payload["participants"]),
+            status=payload["status"],
+            prepared_at=payload["prepared_at"],
+        )
+
+    @classmethod
+    def from_record(cls, record: Any) -> "TxnRecordWire":
+        """Snapshot a server/client-side ``TransactionRecord``."""
+        return cls(
+            txn_id=record.txn_id,
+            client_id=record.client_id,
+            client_name=record.client_name,
+            ts_commit=record.ts_commit,
+            reads=tuple(
+                (key, tuple(version) if version is not None else None)
+                for key, version in record.reads),
+            writes=tuple(
+                (key, value) for key, value in record.writes),
+            participants=tuple(record.participants),
+            status=record.status,
+            prepared_at=record.prepared_at,
+        )
+
+    def to_record(self) -> Any:
+        """Thaw into a mutable ``TransactionRecord`` for server tables."""
+        from ..milana.transaction import TransactionRecord
+        return TransactionRecord(
+            txn_id=self.txn_id,
+            client_id=self.client_id,
+            client_name=self.client_name,
+            ts_commit=self.ts_commit,
+            reads=list(self.reads),
+            writes=list(self.writes),
+            participants=list(self.participants),
+            status=self.status,
+            prepared_at=self.prepared_at,
+        )
+
+
+@dataclass(frozen=True)
+class MilanaGet(WireMessage):
+    """``milana.get``: snapshot read at the transaction's ``ts_begin``."""
+
+    key: str
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class MilanaGetReply(WireMessage):
+    found: bool
+    #: True iff a prepared version existed at or below the timestamp —
+    #: the bit that makes client-local validation possible (§4.3).
+    prepared: bool = False
+    version: Optional[Tuple[float, int]] = None
+    value: Any = None
+    snapshot_miss: bool = False
+
+
+@dataclass(frozen=True)
+class MilanaGetUnvalidated(WireMessage):
+    """``milana.get_unvalidated``: any-replica read (§4.6 relaxation)."""
+
+    key: str
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class MilanaGetUnvalidatedReply(WireMessage):
+    found: bool
+    version: Optional[Tuple[float, int]] = None
+    value: Any = None
+    snapshot_miss: bool = False
+
+
+@dataclass(frozen=True)
+class MilanaPrepare(WireMessage):
+    """``milana.prepare``: Algorithm 1 validation request (§4.2)."""
+
+    record: TxnRecordWire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "MilanaPrepare":
+        return cls(record=TxnRecordWire.from_wire(payload["record"]))
+
+
+@dataclass(frozen=True)
+class MilanaPrepareReply(WireMessage):
+    vote: str  # "SUCCESS" | "ABORT"
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MilanaDecide(WireMessage):
+    """``milana.decide``: the coordinator's (async) outcome broadcast."""
+
+    txn_id: str
+    outcome: str  # COMMITTED | ABORTED
+
+
+@dataclass(frozen=True)
+class MilanaTxnStatus(WireMessage):
+    """``milana.txn_status``: CTP / recovery status probe (§4.5)."""
+
+    txn_id: str
+
+
+@dataclass(frozen=True)
+class MilanaTxnStatusReply(WireMessage):
+    status: str  # PREPARED | COMMITTED | ABORTED | UNKNOWN
+
+
+@dataclass(frozen=True)
+class MilanaFetchLog(WireMessage):
+    """``milana.fetch_log``: pull a replica's full transaction log."""
+
+
+@dataclass(frozen=True)
+class MilanaFetchLogReply(WireMessage):
+    records: Tuple[TxnRecordWire, ...] = ()
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "MilanaFetchLogReply":
+        return cls(records=tuple(
+            TxnRecordWire.from_wire(record)
+            for record in payload["records"]))
+
+
+@dataclass(frozen=True)
+class MilanaReplicateTxn(WireMessage):
+    """``milana.replicate_txn``: unordered txn-record replication."""
+
+    record: TxnRecordWire
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "MilanaReplicateTxn":
+        return cls(record=TxnRecordWire.from_wire(payload["record"]))
+
+
+@dataclass(frozen=True)
+class MilanaRenewLease(WireMessage):
+    """``milana.renew_lease``: primary→backup read-lease renewal (§4.5)."""
+
+    primary: str
+    expiry: float
+
+
+@dataclass(frozen=True)
+class MilanaRenewLeaseReply(WireMessage):
+    granted: bool = True
+
+
+# -- master service (§3's global master) -----------------------------------
+
+
+@dataclass(frozen=True)
+class MasterHeartbeat(WireMessage):
+    """``master.heartbeat`` (one-way): server liveness report."""
+
+    server: str
+    shard: str
+
+
+@dataclass(frozen=True)
+class MasterHeartbeatReply(WireMessage):
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class MasterLookup(WireMessage):
+    """``master.lookup``: shard-map query (one key, or the full map)."""
+
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MasterLookupReply(WireMessage):
+    #: Single-key lookups fill these four...
+    shard: Optional[str] = None
+    primary: Optional[str] = None
+    replicas: Optional[Tuple[str, ...]] = None
+    epoch: Optional[int] = None
+    #: ...full-map lookups fill this: shard name -> info dict.
+    shards: Optional[Dict[str, Dict[str, Any]]] = None
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "MasterLookupReply":
+        replicas = payload.get("replicas")
+        return cls(
+            shard=payload.get("shard"),
+            primary=payload.get("primary"),
+            replicas=tuple(replicas) if replicas is not None else None,
+            epoch=payload.get("epoch"),
+            shards=payload.get("shards"),
+        )

@@ -264,8 +264,8 @@ class TestSim001Blocking:
 class TestRpc001Timeouts:
     def test_positive_bare_call(self, tmp_path):
         findings = run_on(tmp_path, """\
-            def send(node):
-                reply = yield node.call("dst", "m.ping", {})
+            def send(node, request):
+                reply = yield node.call("dst", "m.ping", request)
                 return reply
             """)
         assert rule_ids(findings) == ["RPC001"]
@@ -273,23 +273,23 @@ class TestRpc001Timeouts:
     def test_positive_self_node(self, tmp_path):
         findings = run_on(tmp_path, """\
             class Client:
-                def send(self):
-                    return self.node.call("dst", "m.ping", {},
+                def send(self, request):
+                    return self.node.call("dst", "m.ping", request,
                                           retries=2)
             """)
         assert rule_ids(findings) == ["RPC001"]
 
     def test_negative_keyword_timeout(self, tmp_path):
         findings = run_on(tmp_path, """\
-            def send(node):
-                yield node.call("dst", "m.ping", {}, timeout=5e-3)
+            def send(node, request):
+                yield node.call("dst", "m.ping", request, timeout=5e-3)
             """)
         assert findings == []
 
     def test_negative_positional_timeout(self, tmp_path):
         findings = run_on(tmp_path, """\
-            def send(node):
-                yield node.call("dst", "m.ping", {}, 5e-3)
+            def send(node, request):
+                yield node.call("dst", "m.ping", request, 5e-3)
             """)
         assert findings == []
 
@@ -306,6 +306,72 @@ class TestRpc001Timeouts:
         findings = run_on(tmp_path, """\
             def invoke(handler):
                 return handler.call("anything")
+            """)
+        assert findings == []
+
+
+class TestWire001Payloads:
+    def test_positive_dict_literal_in_call(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def send(node):
+                yield node.call("dst", "m.ping", {"key": "k"},
+                                timeout=5e-3)
+            """)
+        assert rule_ids(findings) == ["WIRE001"]
+
+    def test_positive_dict_literal_in_send_oneway(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def send(node):
+                node.send_oneway("dst", "m.tick", {"now": 1.0})
+            """)
+        assert rule_ids(findings) == ["WIRE001"]
+
+    def test_positive_dict_comprehension_payload(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def send(node, keys):
+                node.send_oneway("dst", "m.bulk",
+                                 {k: 1 for k in keys})
+            """)
+        assert rule_ids(findings) == ["WIRE001"]
+
+    def test_positive_payload_keyword(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def send(node):
+                yield node.call("dst", "m.ping", timeout=5e-3,
+                                payload={"key": "k"})
+            """)
+        assert rule_ids(findings) == ["WIRE001"]
+
+    def test_positive_replicate_to_backups(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            from repro.semel.replication import replicate_to_backups
+            def push(node, backups):
+                yield from replicate_to_backups(
+                    node, backups, "m.put", {"key": "k"}, 2,
+                    timeout=5e-3)
+            """)
+        assert rule_ids(findings) == ["WIRE001"]
+
+    def test_negative_message_object_payload(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def send(node, request):
+                yield node.call("dst", "m.ping", request, timeout=5e-3)
+            """)
+        assert findings == []
+
+    def test_negative_unrelated_receiver(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def invoke(handler):
+                return handler.call("dst", "m.ping", {"key": "k"})
+            """)
+        assert findings == []
+
+    def test_suppression_comment(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def send(node):
+                node.send_oneway(
+                    "dst", "m.tick",
+                    {"now": 1.0})  # simlint: disable=WIRE001
             """)
         assert findings == []
 
@@ -540,5 +606,6 @@ class TestCli:
         assert cli_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("DET001", "DET002", "DET003", "DET004",
-                        "SIM001", "RPC001", "TXN001", "API001"):
+                        "SIM001", "RPC001", "WIRE001", "TXN001",
+                        "API001"):
             assert rule_id in out

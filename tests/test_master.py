@@ -6,6 +6,7 @@ import pytest
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.milana import COMMITTED
 from repro.semel import Master
+from repro.wire import MasterLookup
 
 
 def make_cluster(**overrides):
@@ -142,20 +143,21 @@ class TestLookupService:
         client = cluster.clients[0]
         cluster.sim.run(until=0.05)
         reply = cluster.sim.run_until_event(
-            client.node.call("master", "master.lookup", {"key": "key:0"}))
-        assert reply["shard"] == "shard0"
-        assert reply["primary"] == "srv-0-0"
-        assert reply["epoch"] == 0
+            client.node.call("master", "master.lookup",
+                             MasterLookup(key="key:0")))
+        assert reply.shard == "shard0"
+        assert reply.primary == "srv-0-0"
+        assert reply.epoch == 0
 
     def test_lookup_full_map(self):
         cluster = make_cluster(num_shards=2, populate_keys=10)
         client = cluster.clients[0]
         cluster.sim.run(until=0.05)
         reply = cluster.sim.run_until_event(
-            client.node.call("master", "master.lookup", {}))
-        assert set(reply["shards"]) == {"shard0", "shard1"}
+            client.node.call("master", "master.lookup", MasterLookup()))
+        assert set(reply.shards) == {"shard0", "shard1"}
         assert all(len(info["replicas"]) == 3
-                   for info in reply["shards"].values())
+                   for info in reply.shards.values())
 
     def test_lookup_reflects_promotion(self):
         cluster = make_cluster()
@@ -164,6 +166,7 @@ class TestLookupService:
         cluster.fail_server("srv-0-0")
         cluster.sim.run(until=cluster.sim.now + 0.3)
         reply = cluster.sim.run_until_event(
-            client.node.call("master", "master.lookup", {"key": "key:0"}))
-        assert reply["primary"] != "srv-0-0"
-        assert reply["epoch"] == 1
+            client.node.call("master", "master.lookup",
+                             MasterLookup(key="key:0")))
+        assert reply.primary != "srv-0-0"
+        assert reply.epoch == 1

@@ -5,6 +5,15 @@ idempotence, out-of-order replication records, relaxed backup updates."""
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.milana import ABORTED, COMMITTED, PREPARED, UNKNOWN
 from repro.versioning import Version
+from repro.wire import (
+    Ack,
+    MilanaDecide,
+    MilanaFetchLog,
+    MilanaPrepare,
+    MilanaReplicateTxn,
+    MilanaTxnStatus,
+    TxnRecordWire,
+)
 
 
 def make_cluster(**overrides):
@@ -15,19 +24,24 @@ def make_cluster(**overrides):
     return Cluster(ClusterConfig(**defaults))
 
 
-def prepare_payload(cluster, txn_id, writes, ts_commit, reads=None,
-                    participants=("shard0",)):
-    return {
-        "txn_id": txn_id,
-        "client_id": 9,
-        "client_name": "tester",
-        "ts_commit": ts_commit,
-        "reads": reads or [],
-        "writes": writes,
-        "participants": list(participants),
-        "status": "PREPARED",
-        "prepared_at": 0.0,
-    }
+def prepare_record(txn_id, writes, ts_commit, reads=None,
+                   participants=("shard0",), status=PREPARED):
+    return TxnRecordWire(
+        txn_id=txn_id,
+        client_id=9,
+        client_name="tester",
+        ts_commit=ts_commit,
+        reads=tuple(reads or ()),
+        writes=tuple(writes),
+        participants=tuple(participants),
+        status=status,
+        prepared_at=0.0,
+    )
+
+
+def prepare_request(txn_id, writes, ts_commit, **kwargs):
+    return MilanaPrepare(
+        record=prepare_record(txn_id, writes, ts_commit, **kwargs))
 
 
 class TestPrepareIdempotence:
@@ -35,14 +49,14 @@ class TestPrepareIdempotence:
         cluster = make_cluster()
         client = cluster.clients[0]
         sim = cluster.sim
-        payload = prepare_payload(cluster, "tx-1", [("key:0", "v")],
+        request = prepare_request("tx-1", [("key:0", "v")],
                                   ts_commit=sim.now + 1e-3)
         first = sim.run_until_event(
-            client.node.call("srv-0-0", "milana.prepare", payload))
+            client.node.call("srv-0-0", "milana.prepare", request))
         second = sim.run_until_event(
-            client.node.call("srv-0-0", "milana.prepare", payload))
-        assert first["vote"] == "SUCCESS"
-        assert second["vote"] == "SUCCESS"
+            client.node.call("srv-0-0", "milana.prepare", request))
+        assert first.vote == "SUCCESS"
+        assert second.vote == "SUCCESS"
         # Only one prepared record exists.
         assert cluster.servers["srv-0-0"].txn_table["tx-1"].status == \
             PREPARED
@@ -54,16 +68,16 @@ class TestPrepareIdempotence:
         # Block key:0 with a first prepared transaction.
         sim.run_until_event(client.node.call(
             "srv-0-0", "milana.prepare",
-            prepare_payload(cluster, "blocker", [("key:0", "x")],
+            prepare_request("blocker", [("key:0", "x")],
                             ts_commit=sim.now + 1e-3)))
-        conflicting = prepare_payload(cluster, "loser", [("key:0", "y")],
+        conflicting = prepare_request("loser", [("key:0", "y")],
                                       ts_commit=sim.now + 2e-3)
         first = sim.run_until_event(client.node.call(
             "srv-0-0", "milana.prepare", conflicting))
         second = sim.run_until_event(client.node.call(
             "srv-0-0", "milana.prepare", conflicting))
-        assert first["vote"] == "ABORT"
-        assert second["vote"] == "ABORT"
+        assert first.vote == "ABORT"
+        assert second.vote == "ABORT"
 
 
 class TestDecideHandler:
@@ -72,8 +86,8 @@ class TestDecideHandler:
         client = cluster.clients[0]
         reply = cluster.sim.run_until_event(client.node.call(
             "srv-0-0", "milana.decide",
-            {"txn_id": "never-heard-of-it", "outcome": COMMITTED}))
-        assert reply == {"ack": True}
+            MilanaDecide(txn_id="never-heard-of-it", outcome=COMMITTED)))
+        assert reply == Ack()
 
     def test_decide_twice_is_idempotent(self):
         cluster = make_cluster()
@@ -82,11 +96,11 @@ class TestDecideHandler:
         ts = sim.now + 1e-3
         sim.run_until_event(client.node.call(
             "srv-0-0", "milana.prepare",
-            prepare_payload(cluster, "tx-2", [("key:1", "once")], ts)))
+            prepare_request("tx-2", [("key:1", "once")], ts)))
         for _ in range(2):
             sim.run_until_event(client.node.call(
                 "srv-0-0", "milana.decide",
-                {"txn_id": "tx-2", "outcome": COMMITTED}))
+                MilanaDecide(txn_id="tx-2", outcome=COMMITTED)))
         server = cluster.servers["srv-0-0"]
         assert server.txn_table["tx-2"].status == COMMITTED
         versions = server.backend.versions_of("key:1")
@@ -99,12 +113,12 @@ class TestDecideHandler:
         ts = sim.now + 1e-3
         sim.run_until_event(client.node.call(
             "srv-0-0", "milana.prepare",
-            prepare_payload(cluster, "tx-3", [("key:2", "nope")], ts)))
+            prepare_request("tx-3", [("key:2", "nope")], ts)))
         server = cluster.servers["srv-0-0"]
         assert server.key_states.peek("key:2").prepared is not None
         sim.run_until_event(client.node.call(
             "srv-0-0", "milana.decide",
-            {"txn_id": "tx-3", "outcome": ABORTED}))
+            MilanaDecide(txn_id="tx-3", outcome=ABORTED)))
         assert server.key_states.peek("key:2").prepared is None
         # The aborted write never reached the store.
         assert Version(ts, 9) not in server.backend.versions_of("key:2")
@@ -118,11 +132,10 @@ class TestRelaxedBackupUpdates:
         client = cluster.clients[0]
         sim = cluster.sim
         ts = sim.now + 1e-3
-        committed = prepare_payload(cluster, "tx-4", [("key:3", "ooo")],
-                                    ts)
-        committed["status"] = COMMITTED
-        prepared = prepare_payload(cluster, "tx-4", [("key:3", "ooo")],
-                                   ts)
+        committed = MilanaReplicateTxn(record=prepare_record(
+            "tx-4", [("key:3", "ooo")], ts, status=COMMITTED))
+        prepared = MilanaReplicateTxn(record=prepare_record(
+            "tx-4", [("key:3", "ooo")], ts))
         backup = "srv-0-1"
         sim.run_until_event(client.node.call(
             backup, "milana.replicate_txn", committed))
@@ -139,8 +152,8 @@ class TestRelaxedBackupUpdates:
         client = cluster.clients[0]
         sim = cluster.sim
         ts = sim.now + 1e-3
-        record = prepare_payload(cluster, "tx-5", [("key:4", "dup")], ts)
-        record["status"] = COMMITTED
+        record = MilanaReplicateTxn(record=prepare_record(
+            "tx-5", [("key:4", "dup")], ts, status=COMMITTED))
         backup = "srv-0-1"
         for _ in range(3):
             sim.run_until_event(client.node.call(
@@ -158,17 +171,17 @@ class TestStatusQueries:
         def status(txn_id):
             return sim.run_until_event(client.node.call(
                 "srv-0-0", "milana.txn_status",
-                {"txn_id": txn_id}))["status"]
+                MilanaTxnStatus(txn_id=txn_id))).status
 
         assert status("tx-6") == UNKNOWN
         ts = sim.now + 1e-3
         sim.run_until_event(client.node.call(
             "srv-0-0", "milana.prepare",
-            prepare_payload(cluster, "tx-6", [("key:5", "s")], ts)))
+            prepare_request("tx-6", [("key:5", "s")], ts)))
         assert status("tx-6") == PREPARED
         sim.run_until_event(client.node.call(
             "srv-0-0", "milana.decide",
-            {"txn_id": "tx-6", "outcome": COMMITTED}))
+            MilanaDecide(txn_id="tx-6", outcome=COMMITTED)))
         assert status("tx-6") == COMMITTED
 
     def test_fetch_log_returns_wire_records(self):
@@ -178,8 +191,10 @@ class TestStatusQueries:
         ts = sim.now + 1e-3
         sim.run_until_event(client.node.call(
             "srv-0-0", "milana.prepare",
-            prepare_payload(cluster, "tx-7", [("key:6", "log")], ts)))
+            prepare_request("tx-7", [("key:6", "log")], ts)))
         reply = sim.run_until_event(client.node.call(
-            "srv-0-0", "milana.fetch_log", {}))
-        txn_ids = [record["txn_id"] for record in reply["records"]]
+            "srv-0-0", "milana.fetch_log", MilanaFetchLog()))
+        txn_ids = [record.txn_id for record in reply.records]
         assert "tx-7" in txn_ids
+        assert all(isinstance(record, TxnRecordWire)
+                   for record in reply.records)

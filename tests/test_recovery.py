@@ -13,6 +13,7 @@ from repro.milana import (
     merge_records,
     recover_primary,
 )
+from repro.wire import TxnRecordWire
 
 
 def make_cluster(**overrides):
@@ -29,10 +30,10 @@ def run(cluster, process):
 
 def wire(txn_id, status, writes=(), participants=("shard0",),
          ts_commit=5.0, client_id=1):
-    return TransactionRecord(
+    return TxnRecordWire.from_record(TransactionRecord(
         txn_id=txn_id, client_id=client_id, client_name="c",
         ts_commit=ts_commit, reads=[], writes=list(writes),
-        participants=list(participants), status=status).to_wire()
+        participants=list(participants), status=status))
 
 
 class TestMergeRecords:

@@ -15,6 +15,7 @@ from repro.semel import (
     WatermarkTracker,
 )
 from repro.sim import SeededRng, Simulator
+from repro.wire import SemelGet
 
 
 class TestHashRing:
@@ -289,7 +290,7 @@ class TestSemelService:
         def direct_to_backup():
             try:
                 yield client.node.call(
-                    "srv-0-1", "semel.get", {"key": "k"})
+                    "srv-0-1", "semel.get", SemelGet(key="k"))
             except AppError as exc:
                 return str(exc)
 

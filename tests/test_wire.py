@@ -1,0 +1,316 @@
+"""Tests for the typed wire protocol: registry integrity, byte-model
+sizing, end-to-end type enforcement, size-aware transport, and
+duplicate-delivery idempotence under the typed messages."""
+
+import pytest
+
+from repro.clocks import PerfectClock
+from repro.ftl import DRAMBackend
+from repro.milana import COMMITTED, MilanaClient, MilanaServer
+from repro.net import AppError, FixedLatency, Network, RpcNode
+from repro.semel import Directory, SemelClient, StorageServer
+from repro.sim import SeededRng, Simulator
+from repro.wire import (
+    REGISTRY,
+    Ack,
+    SemelGet,
+    SemelGetReply,
+    SemelPut,
+    payload_size,
+    render_catalogue,
+    spec_for,
+    validate_registry,
+    wire_size_of,
+)
+from repro.wire.check import run_check
+
+
+class TestRegistry:
+    def test_registry_validates_clean(self):
+        assert validate_registry() == []
+
+    def test_every_method_is_dotted_and_unique(self):
+        assert len(REGISTRY) >= 16
+        for method, spec in REGISTRY.items():
+            assert "." in method
+            assert spec.method == method
+
+    def test_spec_lookup(self):
+        spec = spec_for("semel.get")
+        assert spec.request is SemelGet
+        assert spec.response is SemelGetReply
+        assert spec_for("unknown.method") is None
+
+    def test_round_trip_preserves_equality(self):
+        message = SemelPut(key="k", value="v", version=(1.5, 3))
+        assert SemelPut.from_wire(message.to_wire()) == message
+
+    def test_catalogue_covers_every_method(self):
+        catalogue = render_catalogue()
+        for method in REGISTRY:
+            assert f"`{method}`" in catalogue
+
+    def test_call_sites_agree_with_registry(self):
+        from pathlib import Path
+
+        import repro
+
+        problems, num_methods = run_check(Path(repro.__file__).parent)
+        assert problems == []
+        assert num_methods == len(REGISTRY)
+
+
+class TestSizing:
+    def test_sizes_are_deterministic(self):
+        a = SemelPut(key="user:1", value="x" * 50, version=(2.0, 1))
+        b = SemelPut(key="user:1", value="x" * 50, version=(2.0, 1))
+        assert a.wire_size() == b.wire_size()
+        assert wire_size_of(a) == a.wire_size()
+
+    def test_size_grows_with_value(self):
+        small = SemelPut(key="k", value="x", version=(1.0, 1))
+        large = SemelPut(key="k", value="x" * 1000, version=(1.0, 1))
+        assert large.wire_size() - small.wire_size() == 999
+
+    def test_scalar_sizes(self):
+        assert payload_size(None) == 1
+        assert payload_size(True) == 1  # bool checked before int
+        assert payload_size(7) == 8
+        assert payload_size(1.5) == 8
+        assert payload_size("abcd") == 4 + 4
+
+    def test_ack_is_tiny(self):
+        assert Ack().wire_size() <= 4
+
+
+def make_net(seed=1, latency=None, duplicate_probability=0.0):
+    sim = Simulator()
+    network = Network(sim, SeededRng(seed),
+                      latency=latency or FixedLatency(50e-6),
+                      duplicate_probability=duplicate_probability)
+    return sim, network
+
+
+class TestTypedEnforcement:
+    def test_call_rejects_raw_dict_payload(self):
+        sim, network = make_net()
+        node = RpcNode(sim, network, "a")
+        network.register("b")
+        with pytest.raises(TypeError, match="SemelGet"):
+            node.call("b", "semel.get",
+                      {"key": "k"})  # simlint: disable=WIRE001
+
+    def test_send_oneway_rejects_wrong_message_type(self):
+        sim, network = make_net()
+        node = RpcNode(sim, network, "a")
+        network.register("b")
+        with pytest.raises(TypeError):
+            node.send_oneway("b", "semel.watermark", SemelGet(key="k"))
+
+    def test_register_rejects_unknown_dotted_method(self):
+        sim, network = make_net()
+        node = RpcNode(sim, network, "a")
+
+        def handler(payload):
+            return None
+            yield
+
+        with pytest.raises(ValueError, match="registry"):
+            node.register("semel.frobnicate", handler)
+
+    def test_bare_method_names_bypass_registry(self):
+        sim, network = make_net()
+        server = RpcNode(sim, network, "srv")
+        client = RpcNode(sim, network, "cli")
+
+        def echo(payload):
+            return payload
+            yield
+
+        server.register("echo", echo)
+        assert sim.run_until_event(
+            client.call("srv", "echo", {"free": "form"})) == \
+            {"free": "form"}
+
+    def test_mistyped_handler_result_is_an_error_response(self):
+        sim, network = make_net()
+        server = RpcNode(sim, network, "srv")
+        client = RpcNode(sim, network, "cli")
+
+        def bad_handler(payload):
+            return {"found": False}  # should be a SemelGetReply
+            yield
+
+        server.register("semel.get", bad_handler)
+
+        def attempt():
+            try:
+                yield client.call("srv", "semel.get", SemelGet(key="k"))
+            except AppError as exc:
+                return str(exc)
+
+        result = sim.run_until_event(sim.process(attempt()))
+        assert "SemelGetReply" in result
+        assert server.handler_errors == 1
+
+
+class TestPerNetworkRequestIds:
+    def test_fresh_networks_start_at_one(self):
+        _, net1 = make_net(seed=1)
+        _, net2 = make_net(seed=2)
+        assert net1.next_request_id() == 1
+        assert net2.next_request_id() == 1
+        assert net1.next_request_id() == 2
+
+
+class TestSizeAwareTransport:
+    def _timed_delivery(self, latency, message):
+        sim, network = make_net(latency=latency)
+        inbox = network.register("b")
+        network.register("a")
+        network.send("a", "b", message)
+
+        def receive():
+            yield inbox.get()
+            return sim.now
+
+        arrival = sim.run_until_event(sim.process(receive()))
+        return sim, network, arrival
+
+    def test_no_bandwidth_means_no_transmission_delay(self):
+        message = SemelPut(key="k", value="x" * 100, version=(1.0, 1))
+        _, _, arrival = self._timed_delivery(FixedLatency(1e-3), message)
+        assert arrival == 1e-3
+
+    def test_bandwidth_charges_size_proportional_delay(self):
+        message = SemelPut(key="k", value="x" * 100, version=(1.0, 1))
+        bandwidth = 1e6  # bytes per simulated second
+        _, _, arrival = self._timed_delivery(
+            FixedLatency(1e-3, bandwidth=bandwidth), message)
+        expected = 1e-3 + wire_size_of(message) / bandwidth
+        assert arrival == pytest.approx(expected, rel=1e-12)
+
+    def test_bytes_by_edge_accounts_each_message(self):
+        message = SemelGet(key="key:1")
+        _, network, _ = self._timed_delivery(FixedLatency(1e-3), message)
+        assert network.stats.bytes_by_edge == \
+            {("a", "b"): wire_size_of(message)}
+        assert network.stats.total_bytes == wire_size_of(message)
+
+    def test_crashed_destination_is_not_charged(self):
+        sim, network = make_net()
+        network.register("a")
+        network.register("b")
+        network.crash("b")
+        network.send("a", "b", SemelGet(key="k"))
+        assert network.stats.bytes_by_edge == {}
+
+    def test_latency_model_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            FixedLatency(1e-3, bandwidth=0.0)
+
+
+# -- duplicate-delivery idempotence under the typed protocol ----------------
+
+
+def run_semel_workload(duplicate_probability):
+    """A scripted SEMEL run; returns (acked versions, replica states)."""
+    sim = Simulator()
+    network = Network(sim, SeededRng(23), latency=FixedLatency(50e-6),
+                      duplicate_probability=duplicate_probability)
+    directory = Directory({"shard0": ["s-0", "s-1", "s-2"]})
+    servers = {
+        name: StorageServer(sim, network, directory, name, "shard0",
+                            DRAMBackend(sim))
+        for name in ("s-0", "s-1", "s-2")
+    }
+    client = SemelClient(sim, network, directory, PerfectClock(sim),
+                         client_id=1)
+    acked = []
+
+    def work():
+        for i in range(20):
+            version = yield client.put(f"k{i % 5}", f"v{i}")
+            acked.append(version)
+            yield sim.timeout(1e-3)
+
+    sim.run_until_event(sim.process(work()))
+    sim.run(until=sim.now + 20e-3)  # drain laggard replication
+    states = {
+        name: {f"k{j}": server.backend.versions_of(f"k{j}")
+               for j in range(5)}
+        for name, server in servers.items()
+    }
+    return acked, states
+
+
+def run_milana_workload(duplicate_probability):
+    """A scripted MILANA run; returns (outcomes, txn statuses, states)."""
+    sim = Simulator()
+    network = Network(sim, SeededRng(29), latency=FixedLatency(50e-6),
+                      duplicate_probability=duplicate_probability)
+    directory = Directory({"shard0": ["m-0", "m-1", "m-2"]})
+    servers = {
+        name: MilanaServer(sim, network, directory, name, "shard0",
+                           DRAMBackend(sim))
+        for name in ("m-0", "m-1", "m-2")
+    }
+    client = MilanaClient(sim, network, directory, PerfectClock(sim),
+                          client_id=1)
+    outcomes = []
+
+    def work():
+        for i in range(15):
+            txn = client.begin()
+            yield client.txn_get(txn, f"k{i % 4}")
+            client.put(txn, f"k{i % 4}", f"v{i}")
+            outcomes.append((yield client.commit(txn)))
+            yield sim.timeout(1e-3)
+
+    sim.run_until_event(sim.process(work()))
+    sim.run(until=sim.now + 20e-3)  # drain decide/replication traffic
+    statuses = {
+        name: {txn_id: record.status
+               for txn_id, record in server.txn_table.items()}
+        for name, server in servers.items()
+    }
+    states = {
+        name: {f"k{j}": server.backend.versions_of(f"k{j}")
+               for j in range(4)}
+        for name, server in servers.items()
+    }
+    return outcomes, statuses, states
+
+
+class TestDuplicateDeliveryIdempotence:
+    def test_semel_replicate_state_matches_no_duplicate_run(self):
+        baseline_acked, baseline_states = run_semel_workload(0.0)
+        dup_acked, dup_states = run_semel_workload(0.6)
+        assert dup_acked == baseline_acked
+        assert dup_states == baseline_states
+
+    def test_milana_prepare_decide_outcomes_match_no_duplicate_run(self):
+        baseline = run_milana_workload(0.0)
+        duplicated = run_milana_workload(0.6)
+        assert duplicated == baseline
+        outcomes, statuses, _ = duplicated
+        # Uncontended sequential transactions must all commit, and every
+        # replica must agree on their statuses.
+        assert outcomes == [COMMITTED] * 15
+        assert statuses["m-1"] == statuses["m-0"]
+        assert statuses["m-2"] == statuses["m-0"]
+
+    def test_duplicates_were_actually_injected(self):
+        sim = Simulator()
+        network = Network(sim, SeededRng(23),
+                          latency=FixedLatency(50e-6),
+                          duplicate_probability=0.6)
+        network.register("a")
+        network.register("b")
+        for _ in range(50):
+            network.send("a", "b", SemelGet(key="k"))
+        assert network.stats.messages_duplicated > 0
+        # Duplicates are charged on the wire like any other message.
+        assert network.stats.bytes_by_edge[("a", "b")] == \
+            wire_size_of(SemelGet(key="k")) * (
+                50 + network.stats.messages_duplicated)
