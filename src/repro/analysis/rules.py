@@ -24,6 +24,7 @@ __all__ = [
     "RpcTimeoutRule",
     "WirePayloadRule",
     "YieldAtomicityRule",
+    "CrashStatePokeRule",
     "DunderAllRule",
     "rule_catalogue",
 ]
@@ -430,6 +431,37 @@ class YieldAtomicityRule(Rule):
                         f"validation (line {last_validate}) and recording "
                         f"its outcome; revalidate after the yield or move "
                         f"the mutation before it")
+
+
+@rule
+class CrashStatePokeRule(Rule):
+    """FLT001: fault state is mutated through the fault API only.
+
+    Poking ``network._crashed`` directly bypasses the fault-injection
+    surface: no tracer event fires, ``can_communicate`` and the nemesis
+    audit see state that no plan recorded, and in-flight delivery checks
+    can disagree with the poked set. Use ``Network.crash`` /
+    ``Network.recover`` / ``Network.is_crashed`` (or a
+    ``NemesisPlan``), and ``Network.install_faults`` for link faults.
+    """
+
+    rule_id = "FLT001"
+    severity = Severity.ERROR
+    description = ("direct access to Network._crashed outside the network "
+                   "module; use crash()/recover()/is_crashed() or a "
+                   "NemesisPlan")
+    excluded_path_suffixes = ("net/network.py",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and \
+                    node.attr == "_crashed":
+                yield self.finding(
+                    ctx, node,
+                    "touching Network._crashed bypasses the fault API "
+                    "(no tracer event, invisible to can_communicate "
+                    "audits); go through crash()/recover()/is_crashed() "
+                    "or a NemesisPlan")
 
 
 @rule

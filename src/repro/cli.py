@@ -22,6 +22,11 @@ Commands
     the message catalogue (``--catalogue``). ``--check`` cross-checks
     the registry against every RPC call site under ``src/repro`` and
     exits non-zero on drift; CI runs it next to simlint.
+``nemesis``
+    Run a named fault-injection scenario (partitions, message loss,
+    clock storms) under a live workload, heal, and audit the aftermath
+    for serializability, lost committed writes, stuck PREPARED records
+    and replica divergence. Exits non-zero if the audit fails.
 """
 
 from __future__ import annotations
@@ -176,6 +181,33 @@ def _build_parser() -> argparse.ArgumentParser:
     wire.add_argument("--root", default=None,
                       help="source tree to scan (default: the installed "
                            "repro package)")
+
+    from .harness.nemesis import SCENARIOS
+    nemesis = sub.add_parser(
+        "nemesis",
+        help="inject faults under a workload, heal, audit consistency")
+    nemesis.add_argument("--scenario", choices=sorted(SCENARIOS),
+                         default="asymmetric-partition")
+    nemesis.add_argument("--workload", choices=("retwis", "ycsb"),
+                         default="retwis")
+    nemesis.add_argument("--duration", type=float, default=0.3,
+                         help="workload seconds of simulated time")
+    nemesis.add_argument("--fault-start", type=float, default=0.05,
+                         help="fault injection start (simulated seconds)")
+    nemesis.add_argument("--fault-duration", type=float, default=0.15,
+                         help="how long faults stay injected")
+    nemesis.add_argument("--alpha", type=float, default=0.8,
+                         help="Zipf contention parameter")
+    nemesis.add_argument("--shards", type=int, default=2)
+    nemesis.add_argument("--replicas", type=int, default=3)
+    nemesis.add_argument("--clients", type=int, default=4)
+    nemesis.add_argument("--keys", type=int, default=400)
+    nemesis.add_argument("--backend", choices=BACKEND_KINDS,
+                         default="dram")
+    nemesis.add_argument("--clock", default="perfect",
+                         choices=("perfect", "dtp", "ptp-hw", "ptp-sw",
+                                  "ntp"))
+    nemesis.add_argument("--seed", type=int, default=42)
     return parser
 
 
@@ -305,6 +337,27 @@ def _command_ycsb(args) -> int:
     return 0
 
 
+def _command_nemesis(args) -> int:
+    from .harness.nemesis import nemesis_config, run_nemesis
+
+    config = nemesis_config(
+        num_shards=args.shards,
+        replicas_per_shard=args.replicas,
+        num_clients=args.clients,
+        backend=args.backend,
+        clock_preset=args.clock,
+        seed=args.seed,
+        populate_keys=args.keys,
+        with_master=(args.scenario == "isolate-master"),
+    )
+    result = run_nemesis(
+        args.scenario, config=config, workload=args.workload,
+        duration=args.duration, fault_start=args.fault_start,
+        fault_duration=args.fault_duration, alpha=args.alpha)
+    print(result.summary())
+    return 0 if result.passed else 1
+
+
 def _command_analyze(args) -> int:
     from .analysis.cli import main as analysis_main
     return analysis_main(args.analysis_args, prog="repro analyze")
@@ -351,6 +404,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "ycsb": _command_ycsb,
         "analyze": _command_analyze,
         "wire": _command_wire,
+        "nemesis": _command_nemesis,
     }
     return handlers[args.command](args)
 

@@ -7,6 +7,7 @@ magnitudes calibrated to the paper's measured skews (PTP-software 53.2 µs,
 NTP 1.51 ms).
 """
 
+from .anomalies import FaultyClock
 from .base import Clock, MONOTONIC_STEP
 from .ntp import NTP_MEAN_SKEW, NTPClock, ntp_clock
 from .perfect import PerfectClock
@@ -31,6 +32,7 @@ from .synced import SyncedClock
 __all__ = [
     "Clock",
     "MONOTONIC_STEP",
+    "FaultyClock",
     "PerfectClock",
     "SyncedClock",
     "PTPClock",

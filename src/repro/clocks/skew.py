@@ -12,6 +12,7 @@ from itertools import combinations
 from typing import Dict, List, Sequence
 
 from ..sim.rng import SeededRng
+from .anomalies import FaultyClock
 from .base import Clock
 from .ntp import NTPClock
 from .perfect import PerfectClock
@@ -70,15 +71,20 @@ class ClockEnsemble:
         self.preset = preset
         self._clocks: Dict[str, Clock] = {}
 
-    def clock_for(self, node_name: str) -> Clock:
-        """The (memoized) clock for ``node_name``."""
+    def clock_for(self, node_name: str) -> FaultyClock:
+        """The (memoized) clock for ``node_name``.
+
+        Every clock comes wrapped in a :class:`FaultyClock`, so nemesis
+        plans can inject step/drift/spike anomalies without re-wiring;
+        the wrapper is a bit-for-bit passthrough until one is injected.
+        """
         if node_name not in self._clocks:
-            self._clocks[node_name] = make_clock(
+            self._clocks[node_name] = FaultyClock(make_clock(
                 self.preset,
                 self.sim,
                 self.rng.substream(f"clock/{node_name}"),
                 name=f"{self.preset}:{node_name}",
-            )
+            ))
         return self._clocks[node_name]
 
     @property

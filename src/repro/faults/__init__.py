@@ -1,0 +1,59 @@
+"""The nemesis toolkit, under one roof.
+
+Fault injection spans three layers — the network (:mod:`repro.net`:
+partitions, loss, latency spikes, crashes), the clocks
+(:mod:`repro.clocks`: steps, drift, skew spikes) and the harness
+(:mod:`repro.harness`: deterministic plans, named scenarios, post-heal
+audits). This package re-exports the whole surface so experiment code
+can write ``from repro.faults import ...`` without knowing which layer
+owns each piece.
+"""
+
+from ..clocks.anomalies import FaultyClock
+from ..harness.audit import (
+    AuditReport,
+    collect_history,
+    run_audit,
+    sync_replicas,
+)
+from ..harness.chaos import (
+    ChaosMonkey,
+    FailurePlan,
+    NemesisPlan,
+    clock_storm,
+    isolate_master,
+    largest_connected_majority,
+    loss_storm,
+    majority_minority_split,
+    partition_primary_from_backups,
+)
+from ..harness.nemesis import (
+    SCENARIOS,
+    NemesisRunResult,
+    nemesis_config,
+    run_nemesis,
+)
+from ..net.faults import FaultStats, LinkFaults
+
+__all__ = [
+    "FaultStats",
+    "LinkFaults",
+    "FaultyClock",
+    "FailurePlan",
+    "NemesisPlan",
+    "ChaosMonkey",
+    "largest_connected_majority",
+    "partition_primary_from_backups",
+    "isolate_master",
+    "majority_minority_split",
+    "clock_storm",
+    "loss_storm",
+    "AuditReport",
+    "collect_history",
+    "sync_replicas",
+    "run_audit",
+    "SCENARIOS",
+    "NemesisRunResult",
+    "nemesis_config",
+    "run_nemesis",
+]

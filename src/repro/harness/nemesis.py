@@ -1,0 +1,280 @@
+"""Named nemesis scenarios: fault plan + workload + heal + audit.
+
+One :func:`run_nemesis` call is a complete robustness experiment:
+
+1. stand up a cluster whose clients record committed histories
+   (``MilanaClient(record_history=True)``) and whose CTP daemon is on;
+2. start the scenario's :class:`~repro.harness.chaos.NemesisPlan` and a
+   Retwis or YCSB workload side by side;
+3. after the workload window, heal **everything** — link faults, crashed
+   nodes, clock anomalies — and let the system settle past the lease
+   duration and CTP timeout so termination has a fair chance to finish;
+4. run the :func:`~repro.harness.audit.sync_replicas` repair pass and
+   the full post-heal audit (:func:`~repro.harness.audit.run_audit`).
+
+The result bundles the audit verdict with the run's window metrics, the
+fault-event timeline, and the link-fault counters, so a report can show
+*what was injected* next to *what the system guaranteed anyway*.
+
+Scenarios are registered by name in :data:`SCENARIOS` (the CLI's
+``repro nemesis --scenario`` choices). Each builder takes
+``(cluster, rng, start, duration)`` and returns an unstarted plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..milana.client import MilanaClient
+from ..milana.leases import DEFAULT_LEASE_DURATION
+from ..milana.server import DEFAULT_CTP_TIMEOUT
+from ..net.faults import FaultStats
+from ..sim.rng import SeededRng
+from ..workloads.retwis import RetwisInstance
+from ..workloads.ycsb import YcsbInstance
+from .audit import AuditReport, run_audit, sync_replicas
+from .chaos import (
+    NemesisPlan,
+    clock_storm,
+    isolate_master,
+    loss_storm,
+    majority_minority_split,
+    partition_primary_from_backups,
+)
+from .cluster import Cluster, ClusterConfig
+from .metrics import WindowMetrics, snapshot, window_metrics
+
+__all__ = [
+    "SCENARIOS",
+    "NemesisRunResult",
+    "nemesis_config",
+    "run_nemesis",
+]
+
+ScenarioBuilder = Callable[[Cluster, SeededRng, float, float], NemesisPlan]
+
+
+def _partition(cluster, rng, start, duration):
+    return partition_primary_from_backups(
+        cluster, "shard0", start, duration)
+
+
+def _asymmetric_partition(cluster, rng, start, duration):
+    return partition_primary_from_backups(
+        cluster, "shard0", start, duration, asymmetric=True)
+
+
+def _majority_minority(cluster, rng, start, duration):
+    return majority_minority_split(cluster, start, duration)
+
+
+def _isolate_master(cluster, rng, start, duration):
+    return isolate_master(cluster, start, duration)
+
+
+def _clock_storm(cluster, rng, start, duration):
+    return clock_storm(cluster, rng, start, duration)
+
+
+def _loss_storm(cluster, rng, start, duration):
+    return loss_storm(cluster, start, duration)
+
+
+def _combo(cluster, rng, start, duration):
+    """Partition + message loss + clock storm, overlapping."""
+    plan = NemesisPlan(cluster, name="combo")
+    partition_primary_from_backups(
+        cluster, "shard0", start, duration, asymmetric=True, plan=plan)
+    loss_storm(cluster, start + duration * 0.25, duration * 0.5,
+               probability=0.02, plan=plan)
+    clock_storm(cluster, rng, start, duration, plan=plan)
+    return plan
+
+
+#: Scenario name -> plan builder. Keys are the CLI's choices.
+SCENARIOS: Dict[str, ScenarioBuilder] = {
+    "partition": _partition,
+    "asymmetric-partition": _asymmetric_partition,
+    "majority-minority": _majority_minority,
+    "isolate-master": _isolate_master,
+    "clock-storm": _clock_storm,
+    "loss-storm": _loss_storm,
+    "combo": _combo,
+}
+
+
+@dataclass
+class NemesisRunResult:
+    """One scenario run: what was injected, what survived, what held."""
+
+    scenario: str
+    workload: str
+    metrics: WindowMetrics
+    audit: AuditReport
+    cluster: Cluster
+    plan: NemesisPlan
+    #: (time, description) of every fault event that fired.
+    timeline: List[Tuple[float, str]]
+    fault_stats: Optional[FaultStats]
+    records_synced: int
+
+    @property
+    def passed(self) -> bool:
+        return self.audit.passed
+
+    def summary(self) -> str:
+        lines = [
+            f"nemesis scenario: {self.scenario} ({self.workload})",
+            "fault timeline:",
+        ]
+        for at, label in self.timeline:
+            lines.append(f"  {at * 1e3:9.3f} ms  {label}")
+        if self.fault_stats is not None:
+            stats = self.fault_stats
+            lines.append(
+                f"link faults: blocked={stats.messages_blocked} "
+                f"lost={stats.messages_lost} "
+                f"delayed={stats.messages_delayed}")
+        metrics = self.metrics
+        lines.append(
+            f"workload: committed={metrics.committed} "
+            f"aborted={metrics.aborted} "
+            f"abort_rate={metrics.abort_rate:.3f} "
+            f"throughput={metrics.throughput:.0f} txn/s")
+        lines.append(f"repair: {self.records_synced} records synced "
+                     "to backups")
+        lines.append(self.audit.summary())
+        return "\n".join(lines)
+
+
+def _history_client_factory(sim, network, directory, clock, client_id,
+                            local_validation):
+    return MilanaClient(sim, network, directory, clock,
+                        client_id=client_id,
+                        local_validation=local_validation,
+                        record_history=True)
+
+
+def nemesis_config(**overrides) -> ClusterConfig:
+    """The default nemesis deployment: 2 shards x 3 replicas, 4 clients,
+    DRAM backend, CTP daemon on, history-recording clients."""
+    defaults = dict(
+        num_shards=2,
+        replicas_per_shard=3,
+        num_clients=4,
+        backend="dram",
+        clock_preset="perfect",
+        seed=42,
+        populate_keys=400,
+        ctp_timeout=DEFAULT_CTP_TIMEOUT,
+        client_factory=_history_client_factory,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _heal_everything(cluster: Cluster, plan: NemesisPlan) -> None:
+    """Clear every outstanding fault, whatever the plan left behind."""
+    sim = cluster.sim
+    faults = cluster.network.faults
+    if faults is not None and faults.active:
+        faults.heal()
+        plan.timeline.append((sim.now, "post-run heal: link faults"))
+    for name in sorted(cluster.servers):
+        if cluster.network.is_crashed(name):
+            cluster.recover_server(name)
+            plan.timeline.append((sim.now, f"post-run heal: recover {name}"))
+    for i in range(cluster.config.num_clients):
+        clock = cluster.clock_ensemble.clock_for(f"client-{i}")
+        if getattr(clock, "faulted", False):
+            clock.clear()
+            plan.timeline.append(
+                (sim.now, f"post-run heal: clear clock client-{i}"))
+
+
+def run_nemesis(
+    scenario: str,
+    config: Optional[ClusterConfig] = None,
+    workload: str = "retwis",
+    duration: float = 0.3,
+    fault_start: float = 0.05,
+    fault_duration: float = 0.15,
+    alpha: float = 0.8,
+    settle: Optional[float] = None,
+    watermark_interval: Optional[float] = 0.05,
+) -> NemesisRunResult:
+    """Run one named scenario end to end and audit the aftermath."""
+    if scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from "
+            f"{sorted(SCENARIOS)}")
+    if config is None:
+        config = nemesis_config()
+    else:
+        if config.client_factory is None:
+            config = replace(config,
+                             client_factory=_history_client_factory)
+        if config.ctp_timeout is None:
+            config = replace(config, ctp_timeout=DEFAULT_CTP_TIMEOUT)
+    if settle is None:
+        # Past the lease horizon and several CTP rounds, so nothing can
+        # legitimately still be in doubt when the audit runs.
+        settle = DEFAULT_LEASE_DURATION + 3 * (config.ctp_timeout
+                                               or DEFAULT_CTP_TIMEOUT)
+
+    cluster = Cluster(config)
+    sim = cluster.sim
+    base = sim.now
+
+    if workload == "retwis":
+        instances = [
+            RetwisInstance(
+                sim, client, cluster.populated_keys,
+                cluster.rng.substream(f"retwis-{client.client_id}"),
+                alpha=alpha)
+            for client in cluster.clients
+        ]
+    elif workload == "ycsb":
+        instances = [
+            YcsbInstance(
+                sim, client, cluster.populated_keys,
+                cluster.rng.substream(f"ycsb-{client.client_id}"),
+                alpha=alpha)
+            for client in cluster.clients
+        ]
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+    if watermark_interval:
+        for client in cluster.clients:
+            client.start_watermark_daemon(watermark_interval)
+
+    plan = SCENARIOS[scenario](
+        cluster, cluster.rng.substream("nemesis"),
+        base + fault_start, fault_duration)
+    plan.start()
+
+    before = snapshot(sim.now, cluster.clients, cluster.network)
+    procs = [instance.run(duration) for instance in instances]
+    sim.run(until=base + max(duration, plan.end_time + 1e-6))
+    _heal_everything(cluster, plan)
+    for proc in procs:
+        sim.run_until_event(proc)
+    after = snapshot(sim.now, cluster.clients, cluster.network)
+
+    sim.run(until=sim.now + settle)
+    records_synced = sim.run_until_event(sync_replicas(cluster))
+    audit = run_audit(cluster)
+
+    faults = cluster.network.faults
+    return NemesisRunResult(
+        scenario=scenario,
+        workload=workload,
+        metrics=window_metrics(before, after),
+        audit=audit,
+        cluster=cluster,
+        plan=plan,
+        timeline=list(plan.timeline),
+        fault_stats=faults.stats if faults is not None else None,
+        records_synced=records_synced,
+    )

@@ -25,15 +25,18 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..clocks.base import Clock
 from ..histogram import LatencyHistogram
 from ..net.network import Network
-from ..net.rpc import RpcError, RpcNode
+from ..net.rpc import RpcError, RpcNode, RpcTimeout
 from ..sim.core import Simulator
 from ..sim.process import Process
 from ..semel.sharding import Directory
+from ..verify import TxnEntry
 from ..versioning import Version
 from ..wire import (
     MilanaDecide,
     MilanaGet,
     MilanaPrepare,
+    MilanaTxnStatus,
+    MilanaTxnStatusReply,
     TxnRecordWire,
     WatermarkReport,
 )
@@ -41,6 +44,7 @@ from .transaction import (
     ABORTED,
     COMMITTED,
     PREPARED,
+    UNKNOWN,
     ReadObservation,
     Transaction,
 )
@@ -65,6 +69,14 @@ class TxnStats:
     latency_total: float = 0.0
     latency_committed_total: float = 0.0
     abort_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Prepare attempts whose outcome at the participant is unknown
+    #: (RPC timed out): NOT the same as an ABORT vote — the participant
+    #: may hold a prepared record that must be resolved.
+    unknown_votes: int = 0
+    #: Decide broadcasts escalated to acked, retried-until-delivered.
+    reliable_decides: int = 0
+    #: Individual decide delivery attempts that had to be repeated.
+    decide_retries: int = 0
     #: Full latency distribution of decided transactions (p50/p95/p99).
     latency_histogram: LatencyHistogram = field(
         default_factory=LatencyHistogram)
@@ -106,6 +118,9 @@ class MilanaClient:
         local_validation: bool = True,
         rpc_timeout: float = 10e-3,
         rpc_retries: int = 1,
+        reliable_decide: bool = False,
+        record_history: bool = False,
+        decide_retry_limit: int = 25,
     ) -> None:
         self.sim = sim
         self.directory = directory
@@ -116,7 +131,20 @@ class MilanaClient:
         self.local_validation = local_validation
         self.rpc_timeout = rpc_timeout
         self.rpc_retries = rpc_retries
+        #: Always deliver decides as acked, retried calls. Off by
+        #: default: the oneway fast path is the paper's §4.2 behaviour,
+        #: and escalation still happens per-txn when a vote is UNKNOWN.
+        self.reliable_decide = reliable_decide
+        #: Record committed transactions as verify.TxnEntry for offline
+        #: serializability audits (harness.audit).
+        self.record_history = record_history
+        self.decide_retry_limit = decide_retry_limit
         self.stats = TxnStats()
+        self.history: List[TxnEntry] = []
+        #: txn_id -> final outcome, serving the participant-side
+        #: termination query (milana.txn_outcome) backstop.
+        self._decided_outcomes: Dict[str, str] = {}
+        self.node.register("milana.txn_outcome", self._handle_txn_outcome)
         #: Timestamp of the latest decided transaction: this client's
         #: watermark contribution (§4.4).
         self.last_decided_timestamp = float("-inf")
@@ -275,16 +303,34 @@ class MilanaClient:
             if reason:
                 reasons.append(reason)
 
+        unknown = sum(1 for vote in votes.values() if vote == UNKNOWN)
+        self.stats.unknown_votes += unknown
         if all(vote == "SUCCESS" for vote in votes.values()):
             outcome = COMMITTED
         else:
+            # An UNKNOWN vote also aborts: the coordinator cannot prove
+            # the participant prepared. The difference from an ABORT
+            # vote is delivery, below — that participant may hold a
+            # prepared record that must learn the outcome.
             outcome = ABORTED
-        # Report to the application first; notify participants async (§4.2).
+        self._decided_outcomes[txn.txn_id] = outcome
+        # Report to the application first; notify participants async
+        # (§4.2). The oneway fast path carries the outcome when every
+        # vote arrived; once any outcome is in doubt the broadcast is
+        # escalated to acked delivery, retried until each participant
+        # confirms — otherwise an in-doubt prepared record could linger
+        # and block every reader's local validation.
+        reliable = self.reliable_decide or unknown > 0
         for shard_name in participants:
-            primary = self.directory.shard(shard_name).primary
-            self.node.send_oneway(
-                primary, "milana.decide",
-                MilanaDecide(txn_id=txn.txn_id, outcome=outcome))
+            if reliable:
+                self.stats.reliable_decides += 1
+                self.sim.process(self._deliver_decide(
+                    shard_name, txn.txn_id, outcome))
+            else:
+                primary = self.directory.shard(shard_name).primary
+                self.node.send_oneway(
+                    primary, "milana.decide",
+                    MilanaDecide(txn_id=txn.txn_id, outcome=outcome))
         txn.status = outcome
         if outcome == COMMITTED:
             self._decide_locally(txn)
@@ -298,9 +344,42 @@ class MilanaClient:
             reply = yield self.node.call(
                 primary, "milana.prepare", request,
                 timeout=self.rpc_timeout, retries=self.rpc_retries)
+        except RpcTimeout as exc:
+            # No vote arrived: the participant may or may not hold a
+            # prepared record. Distinguishable from a real ABORT vote so
+            # the decide path knows delivery must be reliable.
+            return UNKNOWN, f"prepare outcome unknown at {primary}: {exc}"
         except RpcError as exc:
             return "ABORT", f"prepare failed at {primary}: {exc}"
         return reply.vote, reply.reason
+
+    def _deliver_decide(self, shard_name: str, txn_id: str, outcome: str):
+        """Push the outcome to one participant until it acknowledges.
+
+        Re-resolves the shard primary every round so delivery follows a
+        failover. Gives up after ``decide_retry_limit`` rounds — the
+        participant-side termination query (CTP + ``milana.txn_outcome``)
+        is the backstop for participants unreachable that long.
+        """
+        payload = MilanaDecide(txn_id=txn_id, outcome=outcome)
+        for _ in range(self.decide_retry_limit):
+            primary = self.directory.shard(shard_name).primary
+            try:
+                yield self.node.call(
+                    primary, "milana.decide", payload,
+                    timeout=self.rpc_timeout)
+            except RpcError:
+                self.stats.decide_retries += 1
+                yield self.sim.timeout(self.rpc_timeout)
+                continue
+            return
+
+    def _handle_txn_outcome(self, request: MilanaTxnStatus):
+        """Participant termination-query backstop: report the recorded
+        outcome of one of this coordinator's transactions."""
+        yield from ()
+        return MilanaTxnStatusReply(
+            status=self._decided_outcomes.get(request.txn_id, UNKNOWN))
 
     # -- bookkeeping ------------------------------------------------------------------
 
@@ -325,10 +404,20 @@ class MilanaClient:
             self.stats.latency_committed_total += latency
         else:
             self.stats.count_abort(reason or "unknown")
+        self._decided_outcomes[txn.txn_id] = txn.status
         decided_ts = txn.ts_commit if txn.ts_commit is not None \
             else txn.ts_begin
         self.last_decided_timestamp = max(
             self.last_decided_timestamp, decided_ts)
+        if self.record_history and txn.status == COMMITTED:
+            version = Version(txn.ts_commit, self.client_id) \
+                if txn.writes else None
+            self.history.append(TxnEntry(
+                txn_id=txn.txn_id,
+                reads={key: obs.version
+                       for key, obs in txn.reads.items()},
+                writes={key: version for key in txn.writes},
+                ts=decided_ts))
 
     # -- watermark broadcasting (§4.4) ---------------------------------------------------
 

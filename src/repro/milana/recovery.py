@@ -24,7 +24,6 @@ from typing import Dict, List
 from ..net.rpc import RpcError
 from ..sim.process import Process
 from ..wire import (
-    MilanaDecide,
     MilanaFetchLog,
     MilanaReplicateTxn,
     MilanaTxnStatus,
@@ -195,12 +194,12 @@ def _resolve_prepared(server: MilanaServer, record: TransactionRecord):
                 key, record.txn_id, record.ts_commit)
     else:
         # All participants still prepared: the transaction is outstanding
-        # and should be committed (§4.5).
+        # and should be committed (§4.5). Propagate the decision with
+        # acked, retried delivery — a lost oneway here would strand the
+        # peers' prepared records until their own CTP rounds.
         yield from _ensure_applied(server, record)
         for shard_name in record.participants:
             if shard_name == server.shard_name:
                 continue
-            primary = server.directory.shard(shard_name).primary
-            server.node.send_oneway(
-                primary, "milana.decide",
-                MilanaDecide(txn_id=record.txn_id, outcome=COMMITTED))
+            server.sim.process(server._deliver_decide(
+                shard_name, record.txn_id, COMMITTED))

@@ -36,6 +36,7 @@ from ..sim.core import Simulator
 from ..wire import (
     Ack,
     MilanaDecide,
+    MilanaDecideReply,
     MilanaFetchLog,
     MilanaFetchLogReply,
     MilanaGet,
@@ -234,9 +235,14 @@ class MilanaServer(StorageServer):
             yield inflight
         record = self.txn_table.get(request.txn_id)
         outcome = request.outcome
-        if record is None or record.status in (COMMITTED, ABORTED):
+        if record is None:
+            # Never saw the prepare (or GC'd): report UNKNOWN so an
+            # acked sender can tell "applied" from "nothing to apply".
             yield from ()
-            return Ack()
+            return MilanaDecideReply(status=UNKNOWN)
+        if record.status in (COMMITTED, ABORTED):
+            yield from ()
+            return MilanaDecideReply(status=record.status)
         if outcome not in (COMMITTED, ABORTED):
             raise AppError(f"bad outcome {outcome!r}")
         done = self.sim.event()
@@ -250,7 +256,7 @@ class MilanaServer(StorageServer):
         finally:
             del self._inflight_txn_ops[request.txn_id]
             done.succeed()
-        return Ack()
+        return MilanaDecideReply(status=record.status)
 
     def _apply_commit(self, record: TransactionRecord):
         """Make a prepared transaction's writes visible, then durable.
@@ -357,42 +363,86 @@ class MilanaServer(StorageServer):
                 yield from self._run_ctp(record)
 
     def _run_ctp(self, record: TransactionRecord):
-        """The four termination rules of §4.5 (client failure)."""
-        statuses = [PREPARED]  # this primary's own state
-        for shard_name in record.participants:
-            if shard_name == self.shard_name:
-                continue
-            primary = self.directory.shard(shard_name).primary
-            try:
-                reply = yield self.node.call(
-                    primary, "milana.txn_status",
-                    MilanaTxnStatus(txn_id=record.txn_id),
-                    timeout=self.replication_timeout)
-            except RpcError:
-                # Unreachable participant: cannot decide yet; retry later.
-                return
-            statuses.append(reply.status)
+        """The four termination rules of §4.5 (client failure), with a
+        coordinator termination query as the first move: if the client
+        is reachable and already decided, its answer is authoritative
+        and no peer round is needed."""
+        outcome = yield from self._query_coordinator(record)
         if record.status != PREPARED:
             return  # decided while we were querying
-        if COMMITTED in statuses:
-            outcome = COMMITTED      # rule 1: someone saw the commit
-        elif ABORTED in statuses:
-            outcome = ABORTED        # rules 1/3
-        elif UNKNOWN in statuses:
-            outcome = ABORTED        # rule 2: a participant never prepared
-        else:
-            outcome = COMMITTED      # rule 4: everyone prepared
+        if outcome is None:
+            statuses = [PREPARED]  # this primary's own state
+            for shard_name in record.participants:
+                if shard_name == self.shard_name:
+                    continue
+                primary = self.directory.shard(shard_name).primary
+                try:
+                    reply = yield self.node.call(
+                        primary, "milana.txn_status",
+                        MilanaTxnStatus(txn_id=record.txn_id),
+                        timeout=self.replication_timeout)
+                except RpcError:
+                    # Unreachable participant: cannot decide yet;
+                    # retry later.
+                    return
+                statuses.append(reply.status)
+            if record.status != PREPARED:
+                return  # decided while we were querying
+            if COMMITTED in statuses:
+                outcome = COMMITTED  # rule 1: someone saw the commit
+            elif ABORTED in statuses:
+                outcome = ABORTED    # rules 1/3
+            elif UNKNOWN in statuses:
+                outcome = ABORTED    # rule 2: a participant never prepared
+            else:
+                outcome = COMMITTED  # rule 4: everyone prepared
         self.ctp_resolutions += 1
         if outcome == COMMITTED:
             yield from self._apply_commit(record)
         else:
             self._apply_abort(record)
             yield from self._replicate_txn_record(record)
-        # Propagate the decision to the other participants.
+        # Propagate the decision to the other participants, reliably:
+        # each delivery is acked and retried — a lost oneway here would
+        # leave the peer prepared until its own CTP round.
         for shard_name in record.participants:
             if shard_name == self.shard_name:
                 continue
+            self.sim.process(self._deliver_decide(
+                shard_name, record.txn_id, outcome))
+
+    def _query_coordinator(self, record: TransactionRecord):
+        """Ask the coordinator client for the outcome it decided.
+
+        Returns COMMITTED/ABORTED when the coordinator answered with a
+        decision, else None (unreachable, or it never decided)."""
+        if not record.client_name \
+                or not self.node.network.is_registered(record.client_name):
+            return None
+        try:
+            reply = yield self.node.call(
+                record.client_name, "milana.txn_outcome",
+                MilanaTxnStatus(txn_id=record.txn_id),
+                timeout=self.replication_timeout)
+        except RpcError:
+            return None
+        if reply.status in (COMMITTED, ABORTED):
+            return reply.status
+        return None
+
+    def _deliver_decide(self, shard_name: str, txn_id: str, outcome: str,
+                        max_rounds: int = 25):
+        """Acked decide delivery to one peer primary, retried across
+        rounds (and across failovers: the primary is re-resolved every
+        round) until the peer confirms."""
+        payload = MilanaDecide(txn_id=txn_id, outcome=outcome)
+        for _ in range(max_rounds):
             primary = self.directory.shard(shard_name).primary
-            self.node.send_oneway(
-                primary, "milana.decide",
-                MilanaDecide(txn_id=record.txn_id, outcome=outcome))
+            try:
+                yield self.node.call(
+                    primary, "milana.decide", payload,
+                    timeout=self.replication_timeout)
+            except RpcError:
+                yield self.sim.timeout(self.replication_timeout)
+                continue
+            return

@@ -8,6 +8,7 @@ from .latency import (
     JitteredLatency,
     LatencyModel,
 )
+from .faults import FaultStats, LinkFaults
 from .network import Network, NetworkStats
 from .topology import (
     DEFAULT_CROSS_RACK,
@@ -32,6 +33,8 @@ __all__ = [
     "DEFAULT_DATACENTER_LATENCY",
     "Network",
     "NetworkStats",
+    "LinkFaults",
+    "FaultStats",
     "RackTopology",
     "spread_replicas_across_racks",
     "DEFAULT_INTRA_RACK",

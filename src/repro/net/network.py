@@ -2,25 +2,40 @@
 
 Every node owns an inbox (:class:`~repro.sim.resources.Store`). ``send``
 delivers a message into the destination inbox after a latency-model draw;
-messages may therefore arrive out of order. Failure injection:
+messages may therefore arrive out of order. The fault model has three
+layers (see DESIGN.md "Fault model" for the full taxonomy):
 
-* :meth:`crash` — the node stops receiving and sending (fail-stop, §4.5);
-* :meth:`recover` — deliveries resume (the node's own state recovery is
-  the business of the protocol layer, not the network);
-* ``duplicate_probability`` — random duplicate delivery, for exercising
-  SEMEL's at-most-once/idempotence machinery (§3.3).
+* **fail-stop crashes** — :meth:`crash` silently drops all traffic to and
+  from a node until :meth:`recover`; senders observe the failure only as
+  RPC timeouts (§4.5). Recovery of the node's *state* is the protocol
+  layer's business, not the network's.
+* **duplicate delivery** — ``duplicate_probability`` re-delivers a sent
+  message with independent latency, exercising SEMEL's at-most-once and
+  MILANA's idempotence machinery (§3.3).
+* **link faults** — :meth:`install_faults` attaches a
+  :class:`~repro.net.faults.LinkFaults` table of per-edge state: blocked
+  directed edges (symmetric/asymmetric partitions), probabilistic message
+  loss, and latency spikes. The table is consulted only while it has
+  faults configured (``active``), and its loss draws come from a
+  dedicated rng substream, so runs with no faults enabled are
+  byte-identical to runs on a network that never installed the table.
+
+Use :meth:`can_communicate` to ask whether a directed path is currently
+healthy under all three layers; chaos schedulers (e.g.
+``ChaosMonkey._quorum_safe``) must consult it rather than ``_crashed``.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Set
+from typing import Any, Dict, Optional, Set
 
 from ..sim.core import Simulator
 from ..sim.resources import Store
 from ..sim.rng import SeededRng
 from ..wire.sizing import wire_size_of
+from .faults import LinkFaults
 from .latency import DEFAULT_DATACENTER_LATENCY, LatencyModel
 
 __all__ = ["Network", "NetworkStats"]
@@ -73,6 +88,7 @@ class Network:
         self.tracer = None
         self._inboxes: Dict[str, Store] = {}
         self._crashed: Set[str] = set()
+        self._faults: Optional[LinkFaults] = None
         # Per-network RPC request ids: identical seeds give identical
         # traces regardless of what other Simulators ran in-process.
         self._request_ids = itertools.count(1)
@@ -105,6 +121,32 @@ class Network:
     def is_crashed(self, name: str) -> bool:
         return name in self._crashed
 
+    def install_faults(self) -> LinkFaults:
+        """Attach (or return) the per-link fault table.
+
+        Loss draws use the dedicated ``faults`` substream, so installing
+        an empty table — or never calling this at all — leaves every
+        other rng stream untouched.
+        """
+        if self._faults is None:
+            self._faults = LinkFaults(self.rng.substream("faults"))
+        return self._faults
+
+    @property
+    def faults(self) -> Optional[LinkFaults]:
+        """The installed fault table, or None when never installed."""
+        return self._faults
+
+    def can_communicate(self, src: str, dst: str) -> bool:
+        """True when a ``src -> dst`` message would currently be carried
+        (no crashed endpoint, no blocked edge). Probabilistic loss does
+        not count: the edge still exists."""
+        if src in self._crashed or dst in self._crashed:
+            return False
+        if self._faults is not None and self._faults.is_blocked(src, dst):
+            return False
+        return True
+
     # -- messaging -------------------------------------------------------------------
 
     def send(self, src: str, dst: str, message: Any) -> None:
@@ -122,23 +164,36 @@ class Network:
                 self.tracer.record("net", "drop", src=src, dst=dst,
                                    reason="crashed endpoint")
             return
+        # Link faults are checked at send time: a message already in
+        # flight when a partition begins is a packet on the wire and
+        # still arrives. The `active` gate keeps the default path free
+        # of fault-table lookups (and of loss-rng draws).
+        extra_delay = 0.0
+        if self._faults is not None and self._faults.active:
+            dropped, extra_delay = self._faults.apply(src, dst)
+            if dropped:
+                self.stats.messages_dropped += 1
+                if self.tracer is not None:
+                    self.tracer.record("net", "drop", src=src, dst=dst,
+                                       reason="link fault")
+                return
         size = wire_size_of(message)
         if self.tracer is not None:
             self.tracer.record("net", "send", src=src, dst=dst,
                                kind=type(message).__name__, size=size)
-        self._schedule_delivery(src, dst, message, size)
+        self._schedule_delivery(src, dst, message, size, extra_delay)
         if (self.duplicate_probability > 0
                 and self.rng.random() < self.duplicate_probability):
             self.stats.messages_duplicated += 1
-            self._schedule_delivery(src, dst, message, size)
+            self._schedule_delivery(src, dst, message, size, extra_delay)
 
     def _schedule_delivery(self, src: str, dst: str, message: Any,
-                           size: int) -> None:
+                           size: int, extra_delay: float = 0.0) -> None:
         if self.topology is not None:
             delay = self.topology.latency_between(src, dst, self.rng)
         else:
             delay = self.latency.sample(self.rng)
-        delay += self.latency.transmission_delay(size)
+        delay += self.latency.transmission_delay(size) + extra_delay
         edge = (src, dst)
         self.stats.bytes_by_edge[edge] = \
             self.stats.bytes_by_edge.get(edge, 0) + size

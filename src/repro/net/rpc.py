@@ -34,11 +34,19 @@ __all__ = [
     "AppError",
     "RpcNode",
     "DEFAULT_RPC_TIMEOUT",
+    "RETRY_BACKOFF_BASE",
+    "RETRY_BACKOFF_CAP",
 ]
 
 #: Generous relative to ~50 µs one-way latency; failed nodes answer never,
 #: so this mostly bounds failure detection time in recovery tests.
 DEFAULT_RPC_TIMEOUT = 10e-3
+
+#: First retry backs off this long (doubling per attempt), scaled by a
+#: deterministic jitter draw in [0.5, 1.5) so concurrent callers that
+#: timed out together do not retry in lockstep during a partial outage.
+RETRY_BACKOFF_BASE = 1e-3
+RETRY_BACKOFF_CAP = 100e-3
 
 #: Envelope overhead: request id (8) + ok/oneway flag (1).
 _ENVELOPE_SIZE = SCALAR_SIZE + 1
@@ -101,6 +109,10 @@ class RpcNode:
         self._inbox = network.register(name)
         self._handlers: Dict[str, Callable] = {}
         self._pending: Dict[int, Event] = {}
+        # Per-node jitter stream for retry backoff. Substream derivation
+        # draws nothing from the parent, and this stream is touched only
+        # when a retry actually fires, so retry-free runs are unaffected.
+        self._backoff_rng = network.rng.substream(f"backoff/{name}")
         #: Unexpected (non-AppError) exceptions raised by handlers; they
         #: are converted to error responses, and counted here so tests can
         #: assert nothing blew up silently.
@@ -193,7 +205,8 @@ class RpcNode:
         The returned process fires with the response payload; it fails
         with :class:`RpcTimeout` after ``1 + retries`` attempts, or with
         :class:`AppError` if the handler rejected the request. Retries
-        reuse the request id, so the callee can deduplicate.
+        reuse the request id, so the callee can deduplicate, and back
+        off exponentially with deterministic jitter between attempts.
         """
         _check_request_payload(method, payload)
         return self.sim.process(
@@ -226,6 +239,11 @@ class RpcNode:
                     return response.payload
                 raise AppError(response.payload)
             self._pending.pop(request_id, None)
+            if attempt + 1 < attempts:
+                backoff = min(RETRY_BACKOFF_BASE * (2 ** attempt),
+                              RETRY_BACKOFF_CAP)
+                backoff *= 0.5 + self._backoff_rng.random()
+                yield self.sim.timeout(backoff)
         raise RpcTimeout(
             f"{self.name} -> {dst}.{method}: no response after "
             f"{attempts} attempt(s) of {timeout}s")

@@ -73,6 +73,11 @@ class StorageServer:
         #: a retransmission arriving mid-write coalesces with the original
         #: instead of double-inserting.
         self._inflight_puts: Dict[tuple, Any] = {}
+        #: (key, version) pairs written locally but not yet acked by a
+        #: backup quorum (replication failed or is still running). A
+        #: retransmission must not be acked as a duplicate success until
+        #: replication actually completes.
+        self._unreplicated: set = set()
         self._register_handlers()
 
     # -- role helpers -----------------------------------------------------
@@ -143,11 +148,16 @@ class StorageServer:
             # original to finish and repeat its response.
             self.puts_deduplicated += 1
             yield inflight
+            yield from self._finish_replication(key, value, version)
             return SemelPutReply(applied=True, duplicate=True)
         existing = self.backend.versions_of(key)
         if version in existing:
-            # Retransmitted request: repeat the earlier success response.
+            # Retransmitted request: repeat the earlier success response —
+            # unless the original attempt died mid-replication, in which
+            # case the write is local-only and acking it now would report
+            # durability that never happened. Finish replicating first.
             self.puts_deduplicated += 1
+            yield from self._finish_replication(key, value, version)
             return SemelPutReply(applied=True, duplicate=True)
         if existing and version < existing[0]:
             # §3.3: a timestamp comparison blocks stale writes; the client
@@ -157,14 +167,25 @@ class StorageServer:
                 f"stale write for {key!r}: {version} < {existing[0]}")
         done = self.sim.event()
         self._inflight_puts[inflight_key] = done
+        self._unreplicated.add(inflight_key)
         try:
             yield self.backend.put(key, value, version)
             yield from self._replicate(SemelReplicate(
                 op="put", key=key, value=value, version=tuple(version)))
+            self._unreplicated.discard(inflight_key)
         finally:
             del self._inflight_puts[inflight_key]
             done.succeed()
         return SemelPutReply(applied=True, duplicate=False)
+
+    def _finish_replication(self, key, value, version):
+        """Re-drive replication for a locally applied but never
+        quorum-acked put, before a duplicate success is returned."""
+        if (key, version) not in self._unreplicated:
+            return
+        yield from self._replicate(SemelReplicate(
+            op="put", key=key, value=value, version=tuple(version)))
+        self._unreplicated.discard((key, version))
 
     def _handle_delete(self, request: SemelDelete):
         self._require_primary()

@@ -40,6 +40,7 @@ __all__ = [
     "MilanaPrepare",
     "MilanaPrepareReply",
     "MilanaDecide",
+    "MilanaDecideReply",
     "MilanaTxnStatus",
     "MilanaTxnStatusReply",
     "MilanaFetchLog",
@@ -328,6 +329,15 @@ class MilanaDecide(WireMessage):
 
     txn_id: str
     outcome: str  # COMMITTED | ABORTED
+
+
+@dataclass(frozen=True)
+class MilanaDecideReply(WireMessage):
+    """Decide acknowledgement: the participant's resulting record status
+    (UNKNOWN when it never saw the prepare). Sent only when the decide
+    arrived as an acked call — the fast path stays one-way."""
+
+    status: str  # COMMITTED | ABORTED | UNKNOWN
 
 
 @dataclass(frozen=True)

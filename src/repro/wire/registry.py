@@ -73,10 +73,11 @@ _SPECS: Tuple[MethodSpec, ...] = (
     MethodSpec("milana.prepare", m.MilanaPrepare, m.MilanaPrepareReply,
                "client (coordinator)", "participant primary",
                doc="Algorithm 1 validation; replicated before the vote"),
-    MethodSpec("milana.decide", m.MilanaDecide, m.Ack,
+    MethodSpec("milana.decide", m.MilanaDecide, m.MilanaDecideReply,
                "client (coordinator) / CTP peer", "participant primary",
                oneway=True,
-               doc="asynchronous commit/abort outcome broadcast"),
+               doc="commit/abort outcome; one-way fast path, retried as "
+                   "an acked call when any vote was unknown"),
     MethodSpec("milana.replicate_txn", m.MilanaReplicateTxn, m.Ack,
                "shard primary", "backup", oneway=True,
                doc="unordered transaction-record replication"),
@@ -84,6 +85,11 @@ _SPECS: Tuple[MethodSpec, ...] = (
                m.MilanaTxnStatusReply, "CTP daemon / recovery",
                "participant primary",
                doc="transaction-table status probe (§4.5)"),
+    MethodSpec("milana.txn_outcome", m.MilanaTxnStatus,
+               m.MilanaTxnStatusReply, "participant primary (CTP)",
+               "client (coordinator)",
+               doc="termination-query backstop: the coordinator's "
+                   "recorded outcome for an in-doubt transaction"),
     MethodSpec("milana.fetch_log", m.MilanaFetchLog,
                m.MilanaFetchLogReply, "recovering primary", "replica",
                doc="full transaction log pull for the Algorithm 2 merge"),
@@ -152,11 +158,13 @@ def _examples() -> Dict[str, Tuple[WireMessage, WireMessage]]:
                            m.MilanaPrepareReply(vote="SUCCESS")),
         "milana.decide": (m.MilanaDecide(txn_id="t1.1",
                                          outcome="COMMITTED"),
-                          m.Ack()),
+                          m.MilanaDecideReply(status="COMMITTED")),
         "milana.replicate_txn": (m.MilanaReplicateTxn(record=record),
                                  m.Ack()),
         "milana.txn_status": (m.MilanaTxnStatus(txn_id="t1.1"),
                               m.MilanaTxnStatusReply(status="PREPARED")),
+        "milana.txn_outcome": (m.MilanaTxnStatus(txn_id="t1.1"),
+                               m.MilanaTxnStatusReply(status="COMMITTED")),
         "milana.fetch_log": (m.MilanaFetchLog(),
                              m.MilanaFetchLogReply(records=(record,))),
         "milana.renew_lease": (

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..milana.client import MilanaClient, TransactionAborted
 from ..milana.transaction import COMMITTED
+from ..net.rpc import RpcError
 from ..sim.core import Simulator
 from ..sim.process import Process
 from ..sim.rng import SeededRng
@@ -184,6 +185,11 @@ class YcsbInstance:
                 raise AssertionError(operation)
         except TransactionAborted:
             client.abort(txn, "snapshot-miss")
+            return "ABORTED"
+        except RpcError:
+            # Unreachable/lossy primary (fault injection): count it as an
+            # aborted attempt rather than killing the workload loop.
+            client.abort(txn, "read-error")
             return "ABORTED"
         outcome = yield client.commit(txn)
         return outcome

@@ -469,6 +469,38 @@ class TestApi001DunderAll:
         assert findings == []
 
 
+class TestFlt001CrashStatePoke:
+    def test_positive_direct_mutation(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def sabotage(network, name):
+                network._crashed.add(name)
+            """)
+        assert rule_ids(findings) == ["FLT001"]
+
+    def test_positive_direct_read(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def peek(cluster, name):
+                return name in cluster.network._crashed
+            """)
+        assert rule_ids(findings) == ["FLT001"]
+
+    def test_negative_fault_api(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def fail(network, name):
+                network.crash(name)
+                return network.is_crashed(name)
+            """)
+        assert findings == []
+
+    def test_rule_skips_the_network_module(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            class Network:
+                def crash(self, name):
+                    self._crashed.add(name)
+            """, name="net/network.py")
+        assert findings == []
+
+
 class TestEngine:
     def test_syntax_error_reported_not_raised(self, tmp_path):
         findings = run_on(tmp_path, "def broken(:\n")
@@ -607,5 +639,5 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ("DET001", "DET002", "DET003", "DET004",
                         "SIM001", "RPC001", "WIRE001", "TXN001",
-                        "API001"):
+                        "FLT001", "API001"):
             assert rule_id in out

@@ -105,3 +105,65 @@ class TestChaosMonkey:
         with pytest.raises(ValueError):
             ChaosMonkey(cluster, SeededRng(0), interval=10e-3,
                         downtime=10e-3)
+
+    def test_quorum_safety_consults_partitions(self):
+        """A replica on the wrong side of a partition cannot ack
+        replication, so it must count against the kill budget even
+        though it is not crashed."""
+        cluster = make_cluster(num_shards=1)
+        faults = cluster.network.install_faults()
+        # srv-0-1 is cut off: the only connected majority left is
+        # {srv-0-0, srv-0-2}, so srv-0-2 must never be killed.
+        faults.partition(["srv-0-1"], ["srv-0-0", "srv-0-2"])
+        monkey = ChaosMonkey(cluster, SeededRng(7),
+                             interval=20e-3, downtime=10e-3)
+        monkey.start()
+        cluster.sim.run(until=0.4)
+        victims = {victim for _, victim in monkey.kills}
+        assert monkey.kills
+        assert victims == {"srv-0-1"}
+
+    def test_include_primaries_with_master_failover(self):
+        """With a master running, the monkey may kill primaries too;
+        failover promotes a backup and committed data survives."""
+        cluster = make_cluster(num_shards=1, num_clients=2,
+                               with_master=True, clock_preset="perfect")
+        client = cluster.clients[0]
+
+        def seed():
+            for i in range(10):
+                txn = client.begin()
+                yield client.txn_get(txn, f"key:{i}")
+                client.put(txn, f"key:{i}", f"pre-{i}")
+                outcome = yield client.commit(txn)
+                assert outcome == COMMITTED
+                yield cluster.sim.timeout(1e-3)
+
+        cluster.sim.run_until_event(cluster.sim.process(seed()))
+
+        monkey = ChaosMonkey(cluster, SeededRng(151),
+                             interval=150e-3, downtime=100e-3,
+                             include_primaries=True)
+        monkey.start()
+        cluster.sim.run(until=cluster.sim.now + 0.8)
+        primaries_killed = [victim for _, victim in monkey.kills
+                            if victim.endswith("-0")]
+        assert "srv-0-0" in {v for _, v in monkey.kills} or \
+            cluster.master.failovers, \
+            f"no primary ever killed: {monkey.kills}"
+        assert cluster.master.failovers, primaries_killed
+
+        # After the dust settles, every seeded write is still readable.
+        cluster.sim.run(until=cluster.sim.now + 0.3)
+
+        def audit():
+            values = []
+            for i in range(10):
+                txn = client.begin()
+                values.append((yield client.txn_get(txn, f"key:{i}")))
+                yield client.commit(txn)
+            return values
+
+        values = cluster.sim.run_until_event(
+            cluster.sim.process(audit()))
+        assert values == [f"pre-{i}" for i in range(10)]

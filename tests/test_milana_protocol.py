@@ -6,8 +6,8 @@ from repro.harness.cluster import Cluster, ClusterConfig
 from repro.milana import ABORTED, COMMITTED, PREPARED, UNKNOWN
 from repro.versioning import Version
 from repro.wire import (
-    Ack,
     MilanaDecide,
+    MilanaDecideReply,
     MilanaFetchLog,
     MilanaPrepare,
     MilanaReplicateTxn,
@@ -87,7 +87,7 @@ class TestDecideHandler:
         reply = cluster.sim.run_until_event(client.node.call(
             "srv-0-0", "milana.decide",
             MilanaDecide(txn_id="never-heard-of-it", outcome=COMMITTED)))
-        assert reply == Ack()
+        assert reply == MilanaDecideReply(status=UNKNOWN)
 
     def test_decide_twice_is_idempotent(self):
         cluster = make_cluster()

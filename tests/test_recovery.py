@@ -242,6 +242,109 @@ class TestPrimaryFailover:
             "should-not-land"
 
 
+class TestDecideLostMidPartition:
+    """Satellite of the nemesis PR: the coordinator's decide was lost in
+    a partition; the healed shard must resolve its in-doubt records
+    without losing the committed transaction."""
+
+    def _seed_in_doubt_commit(self, cluster):
+        """Shard1 learned COMMITTED (and applied the write); shard0's
+        replicas all hold PREPARED — exactly what a decide lost on the
+        wire leaves behind."""
+        key0 = next(k for k in cluster.populated_keys
+                    if cluster.directory.shard_of(k).name == "shard0")
+        key1 = next(k for k in cluster.populated_keys
+                    if cluster.directory.shard_of(k).name == "shard1")
+        ts = cluster.sim.now + 1e-3
+        record = TransactionRecord(
+            txn_id="in-doubt", client_id=9, client_name="ghost",
+            ts_commit=ts, reads=[], writes=[(key0, "survives")],
+            participants=["shard0", "shard1"], status=PREPARED,
+            prepared_at=cluster.sim.now)
+        for replica in cluster.directory.shard("shard0").replicas:
+            server = cluster.servers[replica]
+            server.txn_table["in-doubt"] = \
+                TransactionRecord.from_wire(record.to_wire())
+        primary0 = cluster.directory.shard("shard0").primary
+        cluster.servers[primary0].key_states.mark_prepared(
+            key0, "in-doubt", ts)
+        other = TransactionRecord.from_wire(record.to_wire())
+        other.writes = [(key1, "survives-too")]
+        other.status = COMMITTED
+        primary1 = cluster.directory.shard("shard1").primary
+        cluster.servers[primary1].txn_table["in-doubt"] = other
+        return key0
+
+    def test_healed_primary_resolves_in_doubt_without_losing_commit(self):
+        """The shard0 primary dies during the partition; its successor
+        cannot reach shard1 while recovering, so the record stays
+        in-doubt — then the partition heals and CTP must commit it."""
+        cluster = make_cluster(num_shards=2, populate_keys=30,
+                               ctp_timeout=20e-3)
+        key0 = self._seed_in_doubt_commit(cluster)
+
+        cluster.fail_server("srv-0-0")
+        cluster.directory.promote("shard0", "srv-0-1")
+        new_primary = cluster.servers["srv-0-1"]
+        faults = cluster.network.install_faults()
+        primary1 = cluster.directory.shard("shard1").primary
+        faults.block_pair("srv-0-1", primary1)
+        run(cluster, recover_primary(new_primary, lease_wait=10e-3))
+        # Unreachable peer: recovery must keep it PREPARED, not guess.
+        assert new_primary.txn_table["in-doubt"].status == PREPARED
+
+        faults.heal()
+        cluster.sim.run(until=cluster.sim.now + 0.2)
+        assert new_primary.txn_table["in-doubt"].status == COMMITTED
+        assert new_primary.key_states.peek(key0).prepared is None
+
+        client = cluster.clients[0]
+
+        def check():
+            txn = client.begin()
+            value = yield client.txn_get(txn, key0)
+            yield client.commit(txn)
+            return value
+
+        assert run(cluster, cluster.sim.process(check())) == "survives"
+
+    def test_recovery_propagates_decision_to_other_participant(self):
+        """Algorithm 2's all-prepared branch commits; with reliable
+        decide delivery the other participant's primary must end up
+        COMMITTED too, not stranded PREPARED behind a lost oneway."""
+        cluster = make_cluster(num_shards=2, populate_keys=30)
+        key0 = next(k for k in cluster.populated_keys
+                    if cluster.directory.shard_of(k).name == "shard0")
+        key1 = next(k for k in cluster.populated_keys
+                    if cluster.directory.shard_of(k).name == "shard1")
+        ts = cluster.sim.now + 1e-3
+        record = TransactionRecord(
+            txn_id="outstanding", client_id=9, client_name="ghost",
+            ts_commit=ts, reads=[],
+            writes=[(key0, "w0")],
+            participants=["shard0", "shard1"], status=PREPARED,
+            prepared_at=cluster.sim.now)
+        for replica in cluster.directory.shard("shard0").replicas:
+            cluster.servers[replica].txn_table["outstanding"] = \
+                TransactionRecord.from_wire(record.to_wire())
+        peer = TransactionRecord.from_wire(record.to_wire())
+        peer.writes = [(key1, "w1")]
+        primary1 = cluster.directory.shard("shard1").primary
+        server1 = cluster.servers[primary1]
+        server1.txn_table["outstanding"] = peer
+        server1.key_states.mark_prepared(key1, "outstanding", ts)
+
+        cluster.fail_server("srv-0-0")
+        cluster.directory.promote("shard0", "srv-0-1")
+        run(cluster, recover_primary(cluster.servers["srv-0-1"],
+                                     lease_wait=10e-3))
+        cluster.sim.run(until=cluster.sim.now + 50e-3)
+        assert cluster.servers["srv-0-1"].txn_table[
+            "outstanding"].status == COMMITTED
+        assert server1.txn_table["outstanding"].status == COMMITTED
+        assert server1.key_states.peek(key1).prepared is None
+
+
 class TestCooperativeTermination:
     def test_ctp_commits_orphan_prepared_txn(self):
         """All participants prepared, client vanished: CTP rule 4."""
