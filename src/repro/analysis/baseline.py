@@ -44,7 +44,7 @@ class Baseline:
         return cls(cls._key(f) for f in findings)
 
     @classmethod
-    def load(cls, path) -> "Baseline":
+    def load(cls, path: "str | Path") -> "Baseline":
         try:
             data = json.loads(Path(path).read_text(encoding="utf-8"))
         except json.JSONDecodeError as exc:
@@ -64,7 +64,7 @@ class Baseline:
                     f"{path}: malformed entry {entry!r}") from exc
         return cls(entries)
 
-    def save(self, path) -> None:
+    def save(self, path: "str | Path") -> None:
         entries = []
         for (rule_id, file_path, message), count in sorted(
                 self._entries.items()):
@@ -91,3 +91,28 @@ class Baseline:
             else:
                 new.append(finding)
         return new, matched
+
+    def stale_entries(self, findings: Iterable[Finding]
+                      ) -> List[Tuple[str, str, str]]:
+        """Baseline entries that no current finding matches.
+
+        A stale entry means the underlying violation was fixed but the
+        grandfather record was never pruned — dead weight that would
+        silently mask a future regression with the same message."""
+        remaining = Counter(self._entries)
+        for finding in findings:
+            key = self._key(finding)
+            if remaining[key] > 0:
+                remaining[key] -= 1
+        stale: List[Tuple[str, str, str]] = []
+        for key, count in sorted(remaining.items()):
+            stale.extend([key] * count)
+        return stale
+
+    def pruned(self, findings: Iterable[Finding]) -> "Baseline":
+        """A copy with stale entries removed (``--update-baseline``)."""
+        keep = Counter(self._entries)
+        keep.subtract(Counter(self.stale_entries(findings)))
+        return Baseline(
+            key for key, count in keep.items() for _ in range(count)
+            if count > 0)

@@ -1,8 +1,11 @@
 """simlint command line: ``python -m repro.analysis [paths ...]``.
 
-Exit codes: 0 clean (or all findings baselined), 1 findings, 2 usage
-error. ``--format json`` emits a machine-readable report; the schema is
-pinned by ``tests/test_analysis.py``.
+Exit codes: 0 clean (or all findings baselined), 1 findings (or stale
+baseline entries under ``--fail-on-stale``), 2 usage error. ``--format
+json`` emits a machine-readable report (schema pinned by
+``tests/test_analysis.py``); ``--format sarif`` emits SARIF 2.1.0 for
+code-scanning backends; ``--format github`` emits GitHub Actions
+workflow commands so findings annotate the PR diff.
 """
 
 from __future__ import annotations
@@ -11,11 +14,11 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from .baseline import Baseline, BaselineError
 from .engine import all_rules, analyze_paths
-from .findings import Finding
+from .findings import Finding, Severity
 
 __all__ = ["main", "build_parser"]
 
@@ -30,14 +33,23 @@ def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
                         help="files or directories to analyze "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif",
+                                             "github"),
                         default="text", dest="output_format")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout")
     parser.add_argument("--baseline", metavar="FILE",
                         help="suppress findings recorded in this "
                              "baseline file")
     parser.add_argument("--write-baseline", metavar="FILE",
                         help="record current findings as the new "
                              "baseline and exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="prune --baseline entries that no longer "
+                             "fire, rewriting the file in place")
+    parser.add_argument("--fail-on-stale", action="store_true",
+                        help="exit 1 if the baseline contains entries "
+                             "that no longer fire")
     parser.add_argument("--select", metavar="RULES",
                         help="comma-separated rule ids to run "
                              "(default: all)")
@@ -60,28 +72,100 @@ def _list_rules() -> int:
     return 0
 
 
+def _emit(document: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(document + "\n", encoding="utf-8")
+    else:
+        print(document)
+
+
 def _render_text(new: List[Finding], baselined: List[Finding],
-                 files: int) -> None:
+                 files: int, stale: int,
+                 output: Optional[str]) -> None:
+    if new or output:
+        _emit("\n".join(f.render() for f in new), output)
+    noun = "file" if files == 1 else "files"
+    suffix = f" ({len(baselined)} baselined)" if baselined else ""
+    if stale:
+        suffix += f" ({stale} stale baseline entr" \
+                  f"{'y' if stale == 1 else 'ies'})"
+    print(f"simlint: {len(new)} finding(s) in {files} {noun}{suffix}",
+          file=sys.stderr)
+
+
+def _render_json(new: List[Finding], baselined: List[Finding],
+                 files: int, stale: Optional[int],
+                 output: Optional[str]) -> None:
+    counts: dict = {}
     for finding in new:
-        print(finding.render())
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    payload = {
+        "version": 1,
+        "files_checked": files,
+        "findings": [f.to_json() for f in new],
+        "baselined": len(baselined),
+        "counts_by_rule": counts,
+    }
+    if stale is not None:  # additive key, only on --baseline runs
+        payload["stale_baseline"] = stale
+    _emit(json.dumps(payload, indent=2), output)
+
+
+def _render_sarif(new: List[Finding], select: Optional[List[str]],
+                  ignore: Optional[List[str]],
+                  output: Optional[str]) -> None:
+    from .sarif import render_sarif
+    registry = all_rules()
+    active = {rid: r for rid, r in registry.items()
+              if (not select or rid in select)
+              and not (ignore and rid in ignore)}
+    _emit(render_sarif(new, active), output)
+
+
+def _render_github(new: List[Finding], baselined: List[Finding],
+                   files: int, output: Optional[str]) -> None:
+    lines = []
+    for f in new:
+        kind = "error" if f.severity == Severity.ERROR else "warning"
+        # Workflow-command escaping: the message ends at the first
+        # newline/percent unless encoded.
+        message = (f.message.replace("%", "%25")
+                   .replace("\r", "%0D").replace("\n", "%0A"))
+        lines.append(f"::{kind} file={f.path},line={f.line},"
+                     f"col={f.col + 1},title=simlint {f.rule_id}::"
+                     f"{message}")
+    _emit("\n".join(lines), output)
     noun = "file" if files == 1 else "files"
     suffix = f" ({len(baselined)} baselined)" if baselined else ""
     print(f"simlint: {len(new)} finding(s) in {files} {noun}{suffix}",
           file=sys.stderr)
 
 
-def _render_json(new: List[Finding], baselined: List[Finding],
-                 files: int) -> None:
-    counts: dict = {}
-    for finding in new:
-        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
-    print(json.dumps({
-        "version": 1,
-        "files_checked": files,
-        "findings": [f.to_json() for f in new],
-        "baselined": len(baselined),
-        "counts_by_rule": counts,
-    }, indent=2))
+def _apply_baseline(args: argparse.Namespace,
+                    parser: argparse.ArgumentParser,
+                    findings: List[Finding]
+                    ) -> Tuple[List[Finding], List[Finding],
+                               Optional[int]]:
+    """(new, baselined, stale-count); stale is None without --baseline."""
+    if not args.baseline:
+        if args.update_baseline or args.fail_on_stale:
+            parser.error("--update-baseline/--fail-on-stale require "
+                         "--baseline FILE")
+        return findings, [], None
+    try:
+        baseline = Baseline.load(args.baseline)
+    except (OSError, BaselineError) as exc:
+        parser.error(str(exc))
+        raise  # unreachable; keeps type-checkers happy
+    new, baselined = baseline.split(findings)
+    stale = len(baseline.stale_entries(findings))
+    if args.update_baseline and stale:
+        baseline.pruned(findings).save(args.baseline)
+        print(f"simlint: pruned {stale} stale entr"
+              f"{'y' if stale == 1 else 'ies'} from {args.baseline}",
+              file=sys.stderr)
+        stale = 0
+    return new, baselined, stale
 
 
 def main(argv: Optional[Sequence[str]] = None,
@@ -93,11 +177,11 @@ def main(argv: Optional[Sequence[str]] = None,
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         parser.error(f"path(s) do not exist: {', '.join(missing)}")
+    select = _split_rules(args.select)
+    ignore = _split_rules(args.ignore)
     try:
-        findings, files = analyze_paths(
-            args.paths,
-            select=_split_rules(args.select),
-            ignore=_split_rules(args.ignore))
+        findings, files = analyze_paths(args.paths, select=select,
+                                        ignore=ignore)
     except ValueError as exc:
         parser.error(str(exc))  # exits 2
         return 2  # unreachable; keeps type-checkers happy
@@ -107,20 +191,20 @@ def main(argv: Optional[Sequence[str]] = None,
               f"{'y' if len(findings) == 1 else 'ies'} to "
               f"{args.write_baseline}", file=sys.stderr)
         return 0
-    if args.baseline:
-        try:
-            baseline = Baseline.load(args.baseline)
-        except (OSError, BaselineError) as exc:
-            parser.error(str(exc))
-            return 2
-        new, baselined = baseline.split(findings)
-    else:
-        new, baselined = findings, []
+    new, baselined, stale = _apply_baseline(args, parser, findings)
     if args.output_format == "json":
-        _render_json(new, baselined, files)
+        _render_json(new, baselined, files, stale, args.output)
+    elif args.output_format == "sarif":
+        _render_sarif(new, select, ignore, args.output)
+    elif args.output_format == "github":
+        _render_github(new, baselined, files, args.output)
     else:
-        _render_text(new, baselined, files)
-    return 1 if new else 0
+        _render_text(new, baselined, files, stale or 0, args.output)
+    if new:
+        return 1
+    if args.fail_on_stale and stale:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

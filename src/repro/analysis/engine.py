@@ -27,21 +27,46 @@ from .findings import Finding, Severity
 __all__ = [
     "ModuleContext",
     "Rule",
+    "ProjectRule",
+    "Suppression",
     "rule",
     "all_rules",
     "analyze_paths",
     "iter_python_files",
     "SYNTAX_RULE_ID",
+    "SUPPRESSION_RULE_ID",
 ]
 
 #: Pseudo-rule reported when a file cannot be parsed at all.
 SYNTAX_RULE_ID = "SYN001"
+
+#: The meta-rule that reports useless suppression comments; the driver
+#: runs it in a dedicated pass after every other rule has had the chance
+#: to mark suppressions as used.
+SUPPRESSION_RULE_ID = "SUP001"
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*(disable-file|disable)\s*(?:=\s*([A-Za-z0-9_,\s]+))?")
 
 #: Sentinel meaning "every rule" in suppression sets.
 _ALL = "*"
+
+
+class Suppression:
+    """One ``# simlint: disable[-file]`` comment, with usage tracking.
+
+    ``used_rules`` records the ids of findings this comment actually
+    suppressed during a run; the SUP001 meta-rule reports comments whose
+    rules never fired.
+    """
+
+    __slots__ = ("kind", "line", "rules", "used_rules")
+
+    def __init__(self, kind: str, line: int, rules: Set[str]) -> None:
+        self.kind = kind  # "file" or "line"
+        self.line = line  # the comment's line, even for file-scoped
+        self.rules = rules  # rule ids, or {_ALL}
+        self.used_rules: Set[str] = set()
 
 
 class ModuleContext:
@@ -51,6 +76,8 @@ class ModuleContext:
         self.path = path
         self.source = source
         self.tree = ast.parse(source)  # may raise SyntaxError
+        #: every suppression comment in the file, in source order.
+        self.suppressions: List[Suppression] = []
         #: line -> set of suppressed rule ids ("*" means all rules).
         self.line_suppressions: Dict[int, Set[str]] = {}
         #: rule ids suppressed for the whole file ("*" means all).
@@ -154,16 +181,21 @@ class ModuleContext:
             rules = ({part.strip() for part in rules_text.split(",")
                       if part.strip()} if rules_text else {_ALL})
             if kind == "disable-file":
+                self.suppressions.append(Suppression("file", line, rules))
                 self.file_suppressions |= rules
             else:
+                self.suppressions.append(Suppression("line", line, rules))
                 self.line_suppressions.setdefault(line, set()).update(rules)
 
     def is_suppressed(self, finding: Finding) -> bool:
-        if (_ALL in self.file_suppressions
-                or finding.rule_id in self.file_suppressions):
-            return True
-        rules = self.line_suppressions.get(finding.line, set())
-        return _ALL in rules or finding.rule_id in rules
+        hit = False
+        for sup in self.suppressions:
+            if sup.kind == "line" and sup.line != finding.line:
+                continue
+            if _ALL in sup.rules or finding.rule_id in sup.rules:
+                sup.used_rules.add(finding.rule_id)
+                hit = True
+        return hit
 
 
 class Rule:
@@ -206,6 +238,24 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules run after every module has been parsed, against the
+    :class:`~.project.Project` symbol table / call graph, and yield
+    findings for any file in the project. ``check`` is a no-op so the
+    per-module pass skips them cheaply; scoping (the equivalent of
+    ``applies_to``) is the rule's own job, since a finding's path is not
+    known until the whole program has been traversed.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "object") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -222,6 +272,7 @@ def rule(cls: Type[Rule]) -> Type[Rule]:
 
 def all_rules() -> Dict[str, Rule]:
     """The registry (id -> rule instance), importing the built-in rules."""
+    from . import iprules as _ip  # noqa: F401 - registration side effect
     from . import rules as _builtin  # noqa: F401 - registration side effect
     return dict(_REGISTRY)
 
@@ -273,22 +324,54 @@ def analyze_paths(
 
     findings: List[Finding] = []
     files = iter_python_files(paths)
+    contexts: Dict[str, ModuleContext] = {}
     for path in files:
         norm = _normalize(path)
         source = Path(path).read_text(encoding="utf-8")
         try:
-            ctx = ModuleContext(norm, source)
+            contexts[norm] = ModuleContext(norm, source)
         except SyntaxError as exc:
             findings.append(Finding(
                 path=norm, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
                 rule_id=SYNTAX_RULE_ID, severity=Severity.ERROR,
                 message=f"cannot parse: {exc.msg}"))
-            continue
-        for r in active.values():
+
+    # Pass 1: per-module rules.
+    module_rules = [r for r in active.values()
+                    if not isinstance(r, ProjectRule)
+                    and r.rule_id != SUPPRESSION_RULE_ID]
+    for ctx in contexts.values():
+        for r in module_rules:
             if not r.applies_to(ctx):
                 continue
             for finding in r.check(ctx):
                 if not ctx.is_suppressed(finding):
                     findings.append(finding)
+
+    # Pass 2: whole-program rules over the project model.
+    project_rules = [r for r in active.values()
+                     if isinstance(r, ProjectRule)]
+    if project_rules and contexts:
+        from .project import Project
+        project = Project(contexts.values())
+        for r in project_rules:
+            for finding in r.check_project(project):
+                ctx_for = contexts.get(finding.path)
+                if ctx_for is not None and ctx_for.is_suppressed(finding):
+                    continue
+                findings.append(finding)
+
+    # Pass 3: the useless-suppression meta-rule, now that every other
+    # rule has marked the suppressions it consumed.
+    meta = active.get(SUPPRESSION_RULE_ID)
+    if meta is not None:
+        filtering = bool(select or ignore)
+        known_ids = set(registry) | {SYNTAX_RULE_ID}
+        for ctx in contexts.values():
+            if not meta.applies_to(ctx):
+                continue
+            findings.extend(
+                meta.unused_findings(ctx, known_ids, filtering))
+
     findings.sort(key=lambda f: f.sort_key)
     return findings, len(files)

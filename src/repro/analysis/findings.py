@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Tuple
 
 __all__ = ["Finding", "Severity", "SEVERITIES"]
 
@@ -40,7 +41,7 @@ class Finding:
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
 
     @property
-    def sort_key(self):
+    def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule_id)
 
     def render(self) -> str:

@@ -26,6 +26,7 @@ __all__ = [
     "YieldAtomicityRule",
     "CrashStatePokeRule",
     "DunderAllRule",
+    "UnusedSuppressionRule",
     "rule_catalogue",
 ]
 
@@ -476,7 +477,7 @@ class DunderAllRule(Rule):
     severity = Severity.WARNING
     description = "__all__ inconsistent with module-level definitions"
 
-    def _top_level_bindings(self, body) -> Set[str]:
+    def _top_level_bindings(self, body: List[ast.stmt]) -> Set[str]:
         names: Set[str] = set()
         for node in body:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
@@ -516,7 +517,8 @@ class DunderAllRule(Rule):
             return names
         return set()
 
-    def _declared_all(self, ctx: ModuleContext):
+    def _declared_all(self, ctx: ModuleContext
+                      ) -> Tuple[Optional[ast.stmt], Optional[List[str]]]:
         for node in ctx.tree.body:
             value = None
             if isinstance(node, ast.Assign):
@@ -562,6 +564,64 @@ class DunderAllRule(Rule):
                         ctx, child,
                         f"public {child.name!r} is missing from __all__; "
                         f"export it or rename it with a leading underscore")
+
+
+@rule
+class UnusedSuppressionRule(Rule):
+    """SUP001: a suppression comment that suppresses nothing.
+
+    After every other rule has run, any ``# simlint: disable[=RULE]``
+    comment whose rules never fired is dead weight: either the offending
+    code was fixed (delete the comment) or the comment was misspelled
+    and is silently masking nothing. References to unknown rule ids are
+    always reported; "never fired" is only judged on full runs (no
+    ``--select``/``--ignore``), since a filtered run cannot tell.
+
+    The driver runs this rule in a dedicated pass (it needs the usage
+    marks left behind by the others); ``check`` is intentionally empty.
+    To silence it, use an explicit file-level
+    ``# simlint: disable-file=SUP001``.
+    """
+
+    rule_id = "SUP001"
+    severity = Severity.WARNING
+    description = ("suppression comment that suppresses nothing "
+                   "(rule never fires there, or unknown rule id)")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def unused_findings(self, ctx: ModuleContext, known_ids: Set[str],
+                        filtering: bool) -> Iterable[Finding]:
+        from .engine import _ALL
+        if self.rule_id in ctx.file_suppressions:
+            return
+        for sup in ctx.suppressions:
+            if self.rule_id in sup.rules:
+                continue  # meta-suppressions are never self-reported
+            where = ("anywhere in this file" if sup.kind == "file"
+                     else "on this line")
+            anchor = ast.Pass()
+            anchor.lineno = sup.line
+            anchor.col_offset = 0
+            for rid in sorted(sup.rules):
+                if rid == _ALL:
+                    continue
+                if rid not in known_ids:
+                    yield self.finding(
+                        ctx, anchor,
+                        f"suppression references unknown rule id "
+                        f"{rid!r}")
+                elif not filtering and rid not in sup.used_rules:
+                    yield self.finding(
+                        ctx, anchor,
+                        f"useless suppression: {rid} does not fire "
+                        f"{where}; remove the comment")
+            if _ALL in sup.rules and not filtering and not sup.used_rules:
+                yield self.finding(
+                    ctx, anchor,
+                    f"useless blanket suppression: no rule fires "
+                    f"{where}; remove the comment")
 
 
 #: Rule metadata for --list-rules and docs generation.

@@ -29,7 +29,7 @@ from typing import Any, Dict, Optional
 from ..ftl.base import KVBackend
 from ..net.network import Network
 from ..net.rpc import AppError, RpcError
-from ..semel.replication import replicate_to_backups
+from ..semel.replication import QuorumError, replicate_to_backups
 from ..semel.server import StorageServer
 from ..semel.sharding import Directory
 from ..sim.core import Simulator
@@ -219,6 +219,13 @@ class MilanaServer(StorageServer):
         self._inflight_txn_ops[record.txn_id] = done
         try:
             yield from self._replicate_txn_record(record)
+        except QuorumError as exc:
+            # The prepare record is not quorum-durable, so a SUCCESS
+            # vote here could commit a transaction that a recovering
+            # coordinator cannot reconstruct. No SUCCESS was ever sent,
+            # so aborting locally and voting ABORT is always safe.
+            self._apply_abort(record)
+            return MilanaPrepareReply(vote="ABORT", reason=str(exc))
         finally:
             del self._inflight_txn_ops[record.txn_id]
             done.succeed()
@@ -253,6 +260,14 @@ class MilanaServer(StorageServer):
             else:
                 self._apply_abort(record)
                 yield from self._replicate_txn_record(record)
+        except QuorumError as exc:
+            # Not an RpcError, so it would otherwise escape as an opaque
+            # handler error. The decision is applied locally but not
+            # quorum-durable; reject so the coordinator retries, and the
+            # retransmission repeats the recorded status.
+            raise AppError(
+                f"decide for {request.txn_id} not quorum-durable: "
+                f"{exc}") from exc
         finally:
             del self._inflight_txn_ops[request.txn_id]
             done.succeed()
@@ -360,7 +375,13 @@ class MilanaServer(StorageServer):
                 and now - record.prepared_at > self.ctp_timeout
             ]
             for record in stale:
-                yield from self._run_ctp(record)
+                try:
+                    yield from self._run_ctp(record)
+                except (RpcError, QuorumError):
+                    # An unreachable peer or a lost replication quorum
+                    # must not kill the daemon: the record stays
+                    # PREPARED and the next round retries.
+                    continue
 
     def _run_ctp(self, record: TransactionRecord):
         """The four termination rules of §4.5 (client failure), with a
@@ -396,12 +417,26 @@ class MilanaServer(StorageServer):
                 outcome = ABORTED    # rule 2: a participant never prepared
             else:
                 outcome = COMMITTED  # rule 4: everyone prepared
+        inflight = self._inflight_txn_ops.get(record.txn_id)
+        if inflight is not None:
+            # A decide (or a duplicate prepare's replication) is applying
+            # this very transaction: wait it out instead of applying the
+            # outcome a second time underneath it.
+            yield inflight
+        if record.status != PREPARED:
+            return  # decided while we were querying / waiting
         self.ctp_resolutions += 1
-        if outcome == COMMITTED:
-            yield from self._apply_commit(record)
-        else:
-            self._apply_abort(record)
-            yield from self._replicate_txn_record(record)
+        done = self.sim.event()
+        self._inflight_txn_ops[record.txn_id] = done
+        try:
+            if outcome == COMMITTED:
+                yield from self._apply_commit(record)
+            else:
+                self._apply_abort(record)
+                yield from self._replicate_txn_record(record)
+        finally:
+            del self._inflight_txn_ops[record.txn_id]
+            done.succeed()
         # Propagate the decision to the other participants, reliably:
         # each delivery is acked and retried — a lost oneway here would
         # leave the peer prepared until its own CTP round.

@@ -39,7 +39,7 @@ from ..wire import (
     SemelReplicate,
     WatermarkReport,
 )
-from .replication import replicate_to_backups
+from .replication import QuorumError, replicate_to_backups
 from .sharding import Directory
 from .watermark import WatermarkTracker
 
@@ -232,6 +232,13 @@ class StorageServer:
         need = min(self.quorum_acks, len(backups))
         if need <= 0:
             return
-        yield from replicate_to_backups(
-            self.node, backups, "semel.replicate", record, need,
-            timeout=self.replication_timeout)
+        try:
+            yield from replicate_to_backups(
+                self.node, backups, "semel.replicate", record, need,
+                timeout=self.replication_timeout)
+        except QuorumError as exc:
+            # QuorumError is not an RpcError, so without this it sails
+            # past every ``except RpcError`` up the handler chain and
+            # lands in _serve as an opaque handler error. An AppError is
+            # the protocol-level rejection the sender is built to retry.
+            raise AppError(str(exc)) from exc

@@ -639,5 +639,7 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ("DET001", "DET002", "DET003", "DET004",
                         "SIM001", "RPC001", "WIRE001", "TXN001",
-                        "FLT001", "API001"):
+                        "FLT001", "API001", "SUP001", "ATM001",
+                        "ATM002", "PRO001", "PRO002", "PRO003",
+                        "PRO004", "DET101"):
             assert rule_id in out

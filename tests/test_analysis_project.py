@@ -1,0 +1,366 @@
+"""Tests for the whole-program simlint engine.
+
+Covers the project model (symbol table, call-graph resolution,
+exception-propagation fixpoint, the InlineWalker event stream), the
+interprocedural rule families via golden snapshots over
+``tests/fixtures/analysis/``, the SUP001 useless-suppression meta-rule,
+the baseline staleness lifecycle, and the SARIF/github output formats.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, analyze_paths
+from repro.analysis.cli import main as cli_main
+from repro.analysis.engine import ModuleContext, all_rules
+from repro.analysis.project import InlineWalker, Project, uncaught
+from repro.analysis.sarif import render_sarif
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "analysis"
+
+
+def make_project(sources):
+    """Build a Project from {path: source} mappings."""
+    contexts = [ModuleContext(path, textwrap.dedent(source))
+                for path, source in sources.items()]
+    return Project(contexts)
+
+
+def run_on(tmp_path, source, name="snippet.py", **kwargs):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    findings, files = analyze_paths([str(path)], **kwargs)
+    assert files == 1
+    return findings
+
+
+# -- golden snapshots per rule family --------------------------------------
+
+
+class TestGoldenFindings:
+    @pytest.mark.parametrize("family", ["atm", "pro", "det"])
+    def test_family_matches_golden(self, family):
+        root = FIXTURES / family
+        golden = json.loads((root / "golden.json").read_text())
+        findings, files = analyze_paths([str(root)],
+                                        select=golden["select"])
+        assert files >= 1
+        # Golden paths are relative to the family dir so the snapshot
+        # does not depend on the directory pytest was launched from.
+        prefix = root.as_posix() + "/"
+        got = []
+        for f in findings:
+            entry = f.to_json()
+            entry.pop("fingerprint")
+            full = Path(entry["path"]).resolve().as_posix()
+            assert full.startswith(prefix), entry
+            entry["path"] = full[len(prefix):]
+            got.append(entry)
+        assert got == golden["findings"]
+
+    def test_each_family_catches_a_seeded_bug(self):
+        for family, rules in [("atm", {"ATM001", "ATM002"}),
+                              ("pro", {"PRO001", "PRO002", "PRO003",
+                                       "PRO004"}),
+                              ("det", {"DET101"})]:
+            golden = json.loads(
+                (FIXTURES / family / "golden.json").read_text())
+            fired = {entry["rule"] for entry in golden["findings"]}
+            assert fired, family
+            assert fired <= rules, family
+
+
+# -- project model ---------------------------------------------------------
+
+
+class TestProjectModel:
+    def test_symbol_table_and_qualnames(self):
+        project = make_project({"pkg/mod.py": """\
+            class Server:
+                def handle(self):
+                    yield from self._helper()
+
+                def _helper(self):
+                    yield None
+
+            def free():
+                return 1
+        """})
+        names = set(project.functions)
+        assert "pkg.mod.Server.handle" in names
+        assert "pkg.mod.Server._helper" in names
+        assert "pkg.mod.free" in names
+        handle = project.functions["pkg.mod.Server.handle"]
+        assert handle.is_generator
+
+    def test_self_call_resolution_through_inheritance(self):
+        project = make_project({"pkg/mod.py": """\
+            class Base:
+                def _shared(self):
+                    return 1
+
+            class Child(Base):
+                def run(self):
+                    return self._shared()
+        """})
+        run_info = project.functions["pkg.mod.Child.run"]
+        call = run_info.call_sites[0]
+        assert call.callee is not None
+        assert call.callee.qualname == "pkg.mod.Base._shared"
+
+    def test_transitive_raises_crosses_functions(self):
+        project = make_project({"pkg/mod.py": """\
+            class QuorumError(Exception):
+                pass
+
+            class S:
+                def outer(self):
+                    yield from self.inner()
+
+                def inner(self):
+                    if True:
+                        raise QuorumError("lost")
+                    yield None
+
+                def guarded(self):
+                    try:
+                        yield from self.inner()
+                    except QuorumError:
+                        pass
+        """})
+        outer = project.functions["pkg.mod.S.outer"]
+        guarded = project.functions["pkg.mod.S.guarded"]
+        assert "QuorumError" in project.transitive_raises(outer)
+        assert "QuorumError" not in project.transitive_raises(guarded)
+
+    def test_transitive_raises_terminates_on_cycles(self):
+        project = make_project({"pkg/mod.py": """\
+            class S:
+                def ping(self, n):
+                    if n:
+                        return self.pong(n - 1)
+                    raise ValueError("done")
+
+                def pong(self, n):
+                    return self.ping(n)
+        """})
+        ping = project.functions["pkg.mod.S.ping"]
+        pong = project.functions["pkg.mod.S.pong"]
+        assert "ValueError" in project.transitive_raises(ping)
+        assert "ValueError" in project.transitive_raises(pong)
+
+    def test_except_rpcerror_does_not_cover_quorumerror(self):
+        assert uncaught({"QuorumError"}, {"RpcError"})
+        assert not uncaught({"QuorumError"}, {"Exception"})
+        assert not uncaught({"RpcTimeout", "AppError"}, {"RpcError"})
+
+    def test_inline_walker_sees_through_helpers(self):
+        project = make_project({"milana/mod.py": """\
+            class S:
+                def root_daemon(self):
+                    while True:
+                        yield self.sim.timeout(1)
+                        yield from self._work()
+
+                def _work(self):
+                    if "k" not in self.table:
+                        return
+                    yield self.sim.timeout(1)
+                    self.table["k"] = 1
+        """})
+        root = project.functions["milana.mod.S.root_daemon"]
+        events = InlineWalker(project).walk(root)
+        kinds = [(e.kind, e.family) for e in events
+                 if e.family == "table" or e.kind == "suspend"]
+        guard = kinds.index(("guard_read", "table"))
+        write = kinds.index(("write", "table"))
+        assert guard < write
+        assert any(k == ("suspend", None) for k in kinds[guard:write])
+
+    def test_early_return_branch_suspensions_are_rolled_back(self):
+        project = make_project({"milana/mod.py": """\
+            class S:
+                def root_daemon(self):
+                    while True:
+                        if "k" in self.cache:
+                            yield from self._flush()
+                            return
+                        self.cache["k"] = 1
+
+                def _flush(self):
+                    yield self.sim.timeout(1)
+        """})
+        root = project.functions["milana.mod.S.root_daemon"]
+        events = InlineWalker(project).walk(root)
+        # The suspension lives only inside the abandoned early-return
+        # branch, so it is marked dead: the write after the branch must
+        # not look like it happened "after a yield" on a path that was
+        # never taken alongside it.
+        assert any(e.kind == "dead_suspend" for e in events)
+        assert all(e.kind != "suspend" for e in events)
+        assert any(e.kind == "write" and e.family == "cache"
+                   for e in events)
+        # ... and ATM002 agrees: no finding on this module.
+        rule = all_rules()["ATM002"]
+        assert list(rule.check_project(project)) == []
+
+
+# -- SUP001: useless suppressions ------------------------------------------
+
+
+class TestUselessSuppressions:
+    def test_unused_named_suppression_reported(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def f():
+                return 1  # simlint: disable=DET001
+        """)
+        assert [f.rule_id for f in findings] == ["SUP001"]
+        assert "DET001" in findings[0].message
+
+    def test_used_suppression_not_reported(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            import time
+
+            def f():
+                return time.time()  # simlint: disable=DET001
+        """)
+        assert findings == []
+
+    def test_unused_blanket_suppression_reported(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def f():
+                return 1  # simlint: disable
+        """)
+        assert [f.rule_id for f in findings] == ["SUP001"]
+        assert "blanket" in findings[0].message
+
+    def test_unknown_rule_id_in_suppression_reported(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            def f():
+                return 1  # simlint: disable=NOPE999
+        """)
+        assert [f.rule_id for f in findings] == ["SUP001"]
+        assert "NOPE999" in findings[0].message
+
+    def test_unused_file_suppression_reported(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            # simlint: disable-file=DET002
+            def f():
+                return 1
+        """)
+        assert [f.rule_id for f in findings] == ["SUP001"]
+        assert "file" in findings[0].message
+
+    def test_filtered_runs_skip_usefulness_judgement(self, tmp_path):
+        # With --select the suppressed rule may simply not be running;
+        # only unknown ids are still reported.
+        findings = run_on(tmp_path, """\
+            def f():
+                return 1  # simlint: disable=DET001
+        """, select=["SUP001"])
+        assert findings == []
+
+    def test_sup001_suppressible_per_file(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            # simlint: disable-file=SUP001
+            def f():
+                return 1  # simlint: disable=DET001
+        """)
+        assert findings == []
+
+
+# -- baseline lifecycle ----------------------------------------------------
+
+
+class TestBaselineLifecycle:
+    def _violating(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("import time\n\ndef f():\n"
+                        "    return time.time()\n")
+        return path
+
+    def test_stale_entries_detected_and_pruned(self, tmp_path):
+        path = self._violating(tmp_path)
+        findings, _ = analyze_paths([str(path)])
+        baseline = Baseline.from_findings(findings)
+        assert baseline.stale_entries(findings) == []
+        path.write_text("def f():\n    return 0.0\n")
+        clean, _ = analyze_paths([str(path)])
+        stale = baseline.stale_entries(clean)
+        assert len(stale) == len(findings)
+        assert len(baseline.pruned(clean)) == 0
+        # Pruning with the findings still firing keeps the entries.
+        assert len(baseline.pruned(findings)) == len(findings)
+
+    def test_cli_fail_on_stale_and_update(self, tmp_path, capsys):
+        path = self._violating(tmp_path)
+        base = tmp_path / "base.json"
+        assert cli_main([str(path), "--write-baseline", str(base)]) == 0
+        path.write_text("def f():\n    return 0.0\n")
+        assert cli_main([str(path), "--baseline", str(base)]) == 0
+        assert cli_main([str(path), "--baseline", str(base),
+                         "--fail-on-stale"]) == 1
+        assert cli_main([str(path), "--baseline", str(base),
+                         "--update-baseline"]) == 0
+        assert len(Baseline.load(base)) == 0
+        assert cli_main([str(path), "--baseline", str(base),
+                         "--fail-on-stale"]) == 0
+        capsys.readouterr()
+
+    def test_stale_count_in_json_output(self, tmp_path, capsys):
+        path = self._violating(tmp_path)
+        base = tmp_path / "base.json"
+        cli_main([str(path), "--write-baseline", str(base)])
+        path.write_text("def f():\n    return 0.0\n")
+        capsys.readouterr()
+        cli_main([str(path), "--baseline", str(base), "--format",
+                  "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["stale_baseline"] == 1
+
+
+# -- output formats --------------------------------------------------------
+
+
+class TestOutputFormats:
+    def test_sarif_document_shape(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("import time\n\ndef f():\n"
+                        "    return time.time()\n")
+        findings, _ = analyze_paths([str(path)])
+        log = json.loads(render_sarif(findings, all_rules()))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "simlint"
+        ids = {r["id"] for r in driver["rules"]}
+        assert {"DET001", "ATM001", "PRO001", "DET101", "SUP001"} <= ids
+        result = run["results"][0]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 4
+        assert result["partialFingerprints"]["simlint/v1"]
+
+    def test_sarif_cli_output_file(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("def f():\n    return 1\n")
+        out = tmp_path / "report.sarif"
+        assert cli_main([str(path), "--format", "sarif",
+                         "--output", str(out)]) == 0
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"] == []
+
+    def test_github_annotations(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("import time\n\ndef f():\n"
+                        "    return time.time()\n")
+        assert cli_main([str(path), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=simlint DET001::" in out

@@ -6,10 +6,13 @@ from repro.milana import (
     ABORTED,
     COMMITTED,
     KeyStateTable,
+    PREPARED,
     TransactionRecord,
     validate,
 )
+from repro.net import AppError
 from repro.versioning import Version
+from repro.wire import MilanaDecide
 
 
 def make_cluster(**overrides):
@@ -486,3 +489,104 @@ class TestParallelReads:
         result = run(cluster, cluster.sim.process(work()))
         cluster.sim.run(until=cluster.sim.now + 0.05)  # no stray failures
         assert result == "aborted-once"
+
+
+class TestQuorumLossHardening:
+    """A lost replication quorum must surface as a protocol outcome.
+
+    Regression tests for the simlint PRO004/ATM002 findings:
+    ``QuorumError`` is *not* an ``RpcError``, so before the fixes it
+    sailed past every ``except RpcError`` on the handler chain and
+    landed in the RPC layer as an opaque handler error — or killed the
+    CTP daemon outright — and ``_run_ctp`` applied outcomes without the
+    in-flight guard the decide path uses.
+    """
+
+    @staticmethod
+    def _prepared_record(cluster, txn_id, key, value="ctp-value"):
+        record = TransactionRecord(
+            txn_id=txn_id, client_id=99, client_name="departed-client",
+            ts_commit=cluster.sim.now, reads=[], writes=[(key, value)],
+            participants=["shard0"], status=PREPARED,
+            prepared_at=cluster.sim.now)
+        primary = cluster.servers["srv-0-0"]
+        primary.txn_table[txn_id] = record
+        primary.key_states.mark_prepared(key, txn_id, record.ts_commit)
+        return record
+
+    def test_prepare_without_quorum_aborts_without_handler_error(self):
+        cluster = make_cluster(num_clients=1)
+        client = cluster.clients[0]
+        key = cluster.populated_keys[0]
+        primary = cluster.servers["srv-0-0"]
+        cluster.network.crash("srv-0-1")
+        cluster.network.crash("srv-0-2")
+
+        def work(tag):
+            txn = client.begin()
+            old = yield client.txn_get(txn, key)
+            client.put(txn, key, f"{old}-{tag}")
+            outcome = yield client.commit(txn)
+            return outcome
+
+        outcome = run(cluster, cluster.sim.process(work("stalled")))
+        assert outcome != COMMITTED
+        # The regression: the quorum loss used to escape as a generic
+        # handler exception instead of an ABORT vote / AppError.
+        assert primary.node.handler_errors == 0
+        # The abort cleaned up its prepared marks: after the backups
+        # heal, the same key commits again.
+        cluster.network.recover("srv-0-1")
+        cluster.network.recover("srv-0-2")
+        cluster.sim.run(until=cluster.sim.now + 0.05)
+        outcome = run(cluster, cluster.sim.process(work("healed")))
+        assert outcome == COMMITTED
+        assert primary.node.handler_errors == 0
+
+    def test_decide_without_quorum_rejects_then_recovers(self):
+        cluster = make_cluster(num_clients=2)
+        caller = cluster.clients[1]
+        key = cluster.populated_keys[0]
+        primary = cluster.servers["srv-0-0"]
+        self._prepared_record(cluster, "txn-decide-quorum", key)
+        cluster.network.crash("srv-0-1")
+        cluster.network.crash("srv-0-2")
+
+        def decide():
+            try:
+                reply = yield caller.node.call(
+                    "srv-0-0", "milana.decide",
+                    MilanaDecide(txn_id="txn-decide-quorum",
+                                 outcome=COMMITTED),
+                    timeout=1.0)
+            except AppError as exc:
+                return "rejected", str(exc)
+            return "ok", reply.status
+
+        kind, detail = run(cluster, cluster.sim.process(decide()))
+        assert kind == "rejected"
+        assert "not quorum-durable" in detail
+        assert primary.node.handler_errors == 0
+        # A retransmission after the heal sees the recorded status.
+        cluster.network.recover("srv-0-1")
+        cluster.network.recover("srv-0-2")
+        kind, status = run(cluster, cluster.sim.process(decide()))
+        assert (kind, status) == ("ok", COMMITTED)
+
+    def test_ctp_daemon_survives_quorum_loss(self):
+        cluster = make_cluster(num_clients=1, ctp_timeout=0.05)
+        key1, key2 = cluster.populated_keys[:2]
+        record1 = self._prepared_record(cluster, "txn-ctp-1", key1)
+        cluster.network.crash("srv-0-1")
+        cluster.network.crash("srv-0-2")
+        # Several CTP rounds run into QuorumError while replicating the
+        # resolution; before the fix the first one killed the daemon.
+        cluster.sim.run(until=cluster.sim.now + 0.3)
+        assert record1.status == COMMITTED  # resolved locally (rule 4)
+        cluster.network.recover("srv-0-1")
+        cluster.network.recover("srv-0-2")
+        # The daemon is still alive: a second orphaned record, injected
+        # after the heal, also gets resolved.
+        record2 = self._prepared_record(cluster, "txn-ctp-2", key2)
+        cluster.sim.run(until=cluster.sim.now + 0.3)
+        assert record2.status == COMMITTED
