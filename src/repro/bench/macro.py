@@ -1,0 +1,118 @@
+"""Wall-clock benchmarks of real experiment configurations.
+
+The microbenchmarks in :mod:`repro.bench.kernel` isolate kernel layers;
+these run the genuine article — a full cluster with MILANA clients,
+replicated SEMEL servers, flash backends and the latency-modelled
+network — at reduced scale, and report how much simulated work the
+host gets through per wall-clock second. They are the numbers that
+predict how long a figure sweep will take.
+
+The headline metric is decided transactions (or YCSB operations) per
+host second; ``extra`` carries the simulated-time window and, when the
+kernel exposes it, ``events_processed`` so events-per-host-second can
+be derived for the trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..harness.cluster import Cluster, ClusterConfig
+from ..harness.runner import run_retwis_on_cluster
+from ..workloads import YcsbInstance
+from .runner import BenchResult, host_clock
+
+__all__ = ["bench_figure8_point", "bench_retwis", "bench_ycsb"]
+
+
+def _kernel_counters(sim) -> Dict[str, Any]:
+    events = getattr(sim, "events_processed", None)
+    return {} if events is None else {"events_processed": events}
+
+
+def bench_retwis(scale: float = 1.0) -> BenchResult:
+    """Retwis (Table-2 mix) on the default replicated mftl cluster."""
+    quick = scale < 1.0
+    duration = 0.04 if quick else 0.15
+    config = ClusterConfig(
+        num_shards=1, replicas_per_shard=3,
+        num_clients=4 if quick else 8,
+        backend="mftl", clock_preset="ptp-sw", seed=42,
+        populate_keys=200 if quick else 1000)
+    start = host_clock()
+    result = run_retwis_on_cluster(
+        config, alpha=0.6, duration=duration, warmup=duration / 4)
+    seconds = host_clock() - start
+    sim = result.cluster.sim
+    decided = sum(c.stats.committed + c.stats.aborted
+                  for c in result.cluster.clients)
+    extra = {
+        "sim_seconds": round(sim.now, 9),
+        "committed": result.metrics.committed,
+        "messages_sent": result.cluster.network.stats.messages_sent,
+    }
+    extra.update(_kernel_counters(sim))
+    return BenchResult(
+        name="macro/retwis", metric="txns_per_host_s",
+        value=decided / seconds if seconds else 0.0,
+        n=decided, seconds=seconds, extra=extra)
+
+
+def bench_ycsb(scale: float = 1.0) -> BenchResult:
+    """YCSB-B (95/5 read/update, zipfian) on the default cluster."""
+    quick = scale < 1.0
+    duration = 0.04 if quick else 0.15
+    config = ClusterConfig(
+        num_shards=1, replicas_per_shard=3,
+        num_clients=4 if quick else 8,
+        backend="mftl", clock_preset="ptp-sw", seed=42,
+        populate_keys=200 if quick else 1000)
+    cluster = Cluster(config)
+    instances = [
+        YcsbInstance(cluster.sim, client, cluster.populated_keys,
+                     cluster.rng.substream(f"ycsb{client.client_id}"),
+                     workload="B", alpha=0.99)
+        for client in cluster.clients
+    ]
+    procs = [instance.run(duration) for instance in instances]
+    start = host_clock()
+    for proc in procs:
+        cluster.sim.run_until_event(proc)
+    seconds = host_clock() - start
+    operations = sum(i.stats.operations for i in instances)
+    extra = {
+        "sim_seconds": round(cluster.sim.now, 9),
+        "messages_sent": cluster.network.stats.messages_sent,
+    }
+    extra.update(_kernel_counters(cluster.sim))
+    return BenchResult(
+        name="macro/ycsb", metric="ops_per_host_s",
+        value=operations / seconds if seconds else 0.0,
+        n=operations, seconds=seconds, extra=extra)
+
+
+def bench_figure8_point(scale: float = 1.0) -> BenchResult:
+    """One figure-8 cell: mftl, 8 clients, local validation on."""
+    quick = scale < 1.0
+    duration = 0.04 if quick else 0.12
+    config = ClusterConfig(
+        num_shards=1, replicas_per_shard=3,
+        num_clients=8, backend="mftl", clock_preset="perfect", seed=17,
+        populate_keys=300 if quick else 3000,
+        local_validation=True)
+    start = host_clock()
+    result = run_retwis_on_cluster(
+        config, alpha=0.6, duration=duration, warmup=duration / 4)
+    seconds = host_clock() - start
+    sim = result.cluster.sim
+    decided = sum(c.stats.committed + c.stats.aborted
+                  for c in result.cluster.clients)
+    extra = {
+        "sim_seconds": round(sim.now, 9),
+        "mean_latency": repr(result.metrics.mean_latency),
+    }
+    extra.update(_kernel_counters(sim))
+    return BenchResult(
+        name="macro/figure8-point", metric="txns_per_host_s",
+        value=decided / seconds if seconds else 0.0,
+        n=decided, seconds=seconds, extra=extra)

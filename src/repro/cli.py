@@ -27,6 +27,11 @@ Commands
     clock storms) under a live workload, heal, and audit the aftermath
     for serializability, lost committed writes, stuck PREPARED records
     and replica divergence. Exits non-zero if the audit fails.
+``bench``
+    Measure host-side kernel performance (events/s, timeouts/s, RPC
+    round-trips/s, macro workload rates), optionally under cProfile,
+    write ``BENCH_kernel.json``, and check for regressions against a
+    checked-in baseline (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -208,6 +213,28 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=("perfect", "dtp", "ptp-hw", "ptp-sw",
                                   "ntp"))
     nemesis.add_argument("--seed", type=int, default=42)
+
+    bench = sub.add_parser(
+        "bench", help="measure kernel performance; gate regressions")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke scale (~10x smaller runs)")
+    bench.add_argument("--only", default=None, metavar="PREFIX",
+                       help="run only benchmarks whose name starts "
+                            "with PREFIX (e.g. kernel/)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run each benchmark under cProfile and "
+                            "print the hottest functions")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="write a BENCH_kernel.json report to FILE")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="fail (exit 1) on regression vs a "
+                            "checked-in baseline report")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional slowdown for --check "
+                            "(default 0.30)")
+    bench.add_argument("--fingerprints", action="store_true",
+                       help="also print the schedule fingerprints that "
+                            "gate kernel optimisations")
     return parser
 
 
@@ -358,6 +385,40 @@ def _command_nemesis(args) -> int:
     return 0 if result.passed else 1
 
 
+def _command_bench(args) -> int:
+    from .bench import (
+        all_fingerprints,
+        check_against_baseline,
+        run_suite,
+        write_report,
+    )
+
+    results = run_suite(quick=args.quick, only=args.only,
+                        profile=args.profile)
+    if args.fingerprints:
+        print("schedule fingerprints (must not change with kernel "
+              "optimisations):")
+        for kind, digest in sorted(all_fingerprints().items()):
+            print(f"  {kind:<8} {digest}")
+    if args.out:
+        write_report(results, args.out, quick=args.quick)
+        print(f"[report written to {args.out}]")
+    if args.check:
+        problems = check_against_baseline(results, args.check,
+                                          tolerance=args.tolerance)
+        if args.only:
+            # A filtered run legitimately misses baseline entries.
+            problems = [problem for problem in problems
+                        if "not produced by this run" not in problem]
+        if problems:
+            for problem in problems:
+                print(f"bench-check: {problem}")
+            return 1
+        print(f"bench-check: OK ({len(results)} benchmarks within "
+              f"{args.tolerance:.0%} of {args.check})")
+    return 0
+
+
 def _command_analyze(args) -> int:
     from .analysis.cli import main as analysis_main
     return analysis_main(args.analysis_args, prog="repro analyze")
@@ -405,6 +466,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _command_analyze,
         "wire": _command_wire,
         "nemesis": _command_nemesis,
+        "bench": _command_bench,
     }
     return handlers[args.command](args)
 

@@ -11,10 +11,20 @@ The lifecycle of an event is:
 2. *triggered* — a value (or failure) has been attached and the event has
    been placed on the simulator's queue.
 3. *processed* — the simulator has popped the event and run its callbacks.
+
+Hot-path note: events are the most-allocated objects in the whole
+reproduction (every message, timeout and store handoff creates at least
+one), so this module trades a little uniformity for speed — ``__slots__``
+everywhere, trigger paths that push onto the simulator's heap directly
+instead of going through :meth:`Simulator.schedule`, and kernel-internal
+readers using the underscored attributes rather than the public
+properties. The schedule produced is byte-identical to the straightforward
+implementation; ``tests/test_fingerprints.py`` holds that line.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 __all__ = [
@@ -29,6 +39,8 @@ __all__ = [
 
 class _Pending:
     """Sentinel marking an event that has not yet been triggered."""
+
+    __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<PENDING>"
@@ -47,17 +59,35 @@ class Event:
     simulator loop.
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed",
+                 "_defused")
+
     def __init__(self, sim: "Simulator") -> None:  # noqa: F821
         self.sim = sim
         self.callbacks: List[Callable[["Event"], None]] = []
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         self._processed = False
-        #: Set when a failure has been deliberately handled, suppressing the
-        #: simulator's unhandled-failure check.
-        self.defused = False
 
     # -- state ------------------------------------------------------------
+
+    @property
+    def defused(self) -> bool:
+        """True once a failure has been deliberately handled, suppressing
+        the simulator's unhandled-failure check.
+
+        Backed lazily: the flag is only ever consulted on the failure
+        path, so ``__init__`` skips the store and the getter defaults an
+        untouched slot to False.
+        """
+        try:
+            return self._defused
+        except AttributeError:
+            return False
+
+    @defused.setter
+    def defused(self, flag: bool) -> None:
+        self._defused = flag
 
     @property
     def triggered(self) -> bool:
@@ -85,30 +115,42 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Attach a success value and enqueue the event at the current time."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim.schedule(self)
+        sim = self.sim
+        seq = sim._seq
+        heappush(sim._heap, (sim._now, seq, self))
+        sim._seq = seq + 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Attach a failure exception and enqueue the event."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() requires an exception, got {exception!r}")
         self._ok = False
         self._value = exception
-        self.sim.schedule(self)
+        sim = self.sim
+        seq = sim._seq
+        heappush(sim._heap, (sim._now, seq, self))
+        sim._seq = seq + 1
         return self
 
     def _fire(self) -> None:
-        """Run callbacks; invoked by the simulator when the event is popped."""
+        """Run callbacks; invoked by the simulator when the event is popped.
+
+        :meth:`Simulator.run` inlines this body in its inner loop; keep
+        the two in sync when changing it.
+        """
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
         if self._ok is False and not self.defused:
             # A failed event that nobody is waiting on is a programming
             # error; surface it rather than letting it pass silently.
@@ -116,21 +158,32 @@ class Event:
 
     def __repr__(self) -> str:
         state = "processed" if self._processed else (
-            "triggered" if self.triggered else "pending")
+            "triggered" if self._value is not PENDING else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Pure delays are the single hottest event kind, so construction is
+    fully inlined: the already-succeeded state and the heap push happen
+    here without touching ``Event.__init__`` or ``Event.succeed``.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim.schedule(self, delay=delay)
+        self._ok = True
+        self._processed = False
+        self.delay = delay
+        seq = sim._seq
+        heappush(sim._heap, (sim._now + delay, seq, self))
+        sim._seq = seq + 1
 
 
 class Interrupt(Exception):
@@ -148,6 +201,8 @@ class Interrupt(Exception):
 class _Condition(Event):
     """Common machinery for :class:`AnyOf` / :class:`AllOf`."""
 
+    __slots__ = ("events", "_count")
+
     def __init__(self, sim: "Simulator", events: List[Event]) -> None:  # noqa: F821
         super().__init__(sim)
         self.events = list(events)
@@ -156,7 +211,7 @@ class _Condition(Event):
             self.succeed({})
             return
         for event in self.events:
-            if event.processed:
+            if event._processed:
                 self._check(event)
             else:
                 event.callbacks.append(self._check)
@@ -166,7 +221,7 @@ class _Condition(Event):
         return {
             event: event._value
             for event in self.events
-            if event.processed and event.ok
+            if event._processed and event._ok
         }
 
     def _check(self, event: Event) -> None:
@@ -180,10 +235,12 @@ class AnyOf(_Condition):
     A failing child fails the condition.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
-        if event.ok is False:
+        if event._ok is False:
             event.defused = True
             self.fail(event._value)
         else:
@@ -197,10 +254,12 @@ class AllOf(_Condition):
     fails the condition immediately.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
-        if event.ok is False:
+        if event._ok is False:
             event.defused = True
             self.fail(event._value)
             return

@@ -5,10 +5,16 @@ A process wraps a Python generator. Each ``yield`` must produce an
 and resumes with the event's value (or, for a failed event, the exception is
 thrown into the generator). A process is itself an event that fires with the
 generator's return value, so processes can wait on each other.
+
+Hot-path note: :meth:`Process._resume` runs once per yield of every
+process in the system, so it reads event state through the underscored
+attributes and pushes onto the simulator heap directly, like the rest of
+the kernel (see events.py).
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator
 
 from .events import Event, Interrupt
@@ -18,6 +24,8 @@ __all__ = ["Process"]
 
 class Process(Event):
     """Drives a generator, suspending at each yielded event."""
+
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, sim: "Simulator", generator: Generator) -> None:  # noqa: F821
         if not hasattr(generator, "send"):
@@ -31,7 +39,8 @@ class Process(Event):
         bootstrap._ok = True
         bootstrap._value = None
         bootstrap.callbacks.append(self._resume)
-        sim.schedule(bootstrap)
+        heappush(sim._heap, (sim._now, sim._seq, bootstrap))
+        sim._seq += 1
         self._waiting_on = bootstrap
 
     @property
@@ -53,7 +62,7 @@ class Process(Event):
         carrier.defused = True
 
         waiting_on = self._waiting_on
-        if waiting_on is not None and not waiting_on.processed:
+        if waiting_on is not None and not waiting_on._processed:
             try:
                 waiting_on.callbacks.remove(self._resume)
             except ValueError:
@@ -70,7 +79,7 @@ class Process(Event):
             return
         self._waiting_on = None  # type: ignore[assignment]
         try:
-            if trigger.ok:
+            if trigger._ok:
                 target = self._generator.send(trigger._value)
             else:
                 trigger.defused = True
@@ -84,7 +93,9 @@ class Process(Event):
             self._ok = False
             self._value = exc
             self.defused = True
-            self.sim.schedule(self)
+            sim = self.sim
+            heappush(sim._heap, (sim._now, sim._seq, self))
+            sim._seq += 1
             return
         except BaseException as exc:  # noqa: BLE001 - propagate to waiters
             self.fail(exc)
@@ -96,7 +107,7 @@ class Process(Event):
             self._crash(error)
             return
 
-        if target.processed:
+        if target._processed:
             # The yielded event fired during an earlier simulator step; relay
             # its outcome through a fresh immediate event.
             relay = Event(self.sim)

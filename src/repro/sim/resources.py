@@ -24,6 +24,8 @@ class Store:
     that fires with the next item once one is available.
     """
 
+    __slots__ = ("sim", "capacity", "_items", "_getters", "_putters")
+
     def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:  # noqa: F821
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
@@ -83,6 +85,8 @@ class Resource:
         finally:
             resource.release()
     """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
 
     def __init__(self, sim: "Simulator", capacity: int = 1) -> None:  # noqa: F821
         if capacity < 1:

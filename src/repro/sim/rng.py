@@ -16,12 +16,30 @@ __all__ = ["SeededRng"]
 
 
 class SeededRng:
-    """A named, seedable random stream with derivable substreams."""
+    """A named, seedable random stream with derivable substreams.
+
+    Draw methods are re-bound as instance attributes at construction,
+    so ``rng.random()`` resolves straight to the underlying
+    ``random.Random`` method with no wrapper frame — draws happen per
+    network message and per workload operation, making this one of the
+    hottest call sites in the tree. The ``def`` bodies below remain the
+    API documentation (and the fallback if a subclass overrides one).
+    """
 
     def __init__(self, seed: int, name: str = "root") -> None:
         self.seed = int(seed)
         self.name = name
-        self._random = random.Random(self._derive(seed, name))
+        rnd = random.Random(self._derive(seed, name))
+        self._random = rnd
+        # Fast path: shadow the wrapper methods with the underlying
+        # bound methods (draw-for-draw identical, one frame cheaper).
+        # Skipped for any method a subclass overrides.
+        cls = type(self)
+        for method in ("random", "uniform", "randint", "choice",
+                       "shuffle", "expovariate", "gauss",
+                       "lognormvariate", "sample"):
+            if getattr(cls, method) is getattr(SeededRng, method):
+                setattr(self, method, getattr(rnd, method))
 
     @staticmethod
     def _derive(seed: int, name: str) -> int:

@@ -1,0 +1,58 @@
+"""Golden schedule-fingerprint tests gating kernel optimisations.
+
+The fixtures in ``tests/fixtures/fingerprints.json`` were captured from
+the pre-optimisation kernel (PR 5). Any change to the simulation kernel,
+network, or protocol layers that alters a default-config schedule —
+commit timestamps, abort outcomes, latency sums, message counts — flips
+a fingerprint and fails here. Performance work must keep these
+byte-identical; see docs/PERFORMANCE.md for the full rule and for what
+to do when a schedule change is *intended* (regenerate the fixture in
+its own commit with an explanation).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.fingerprint import (
+    FINGERPRINT_KINDS,
+    fingerprint_material,
+    schedule_fingerprint,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "fingerprints.json")
+
+
+def _golden():
+    with open(FIXTURE) as handle:
+        return json.load(handle)
+
+
+class TestGoldenFingerprints:
+    def test_fixture_covers_every_kind(self):
+        assert sorted(_golden()) == sorted(FINGERPRINT_KINDS)
+
+    @pytest.mark.parametrize("kind", FINGERPRINT_KINDS)
+    def test_schedule_is_byte_identical_to_golden(self, kind):
+        golden = _golden()
+        got = schedule_fingerprint(kind)
+        assert got == golden[kind], (
+            f"{kind} schedule fingerprint drifted from the golden "
+            f"fixture: the kernel no longer produces the same event "
+            f"schedule. Diff fingerprint_material({kind!r}) against a "
+            f"known-good checkout to find what moved.")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fingerprint kind"):
+            fingerprint_material("nonesuch")
+
+    def test_material_is_canonical_json(self):
+        material = fingerprint_material("retwis")
+        dumped = json.dumps(material, sort_keys=True,
+                            separators=(",", ":"))
+        assert len(dumped) > 100
+        # Floats travel as repr() strings so the canonical form never
+        # depends on json float formatting.
+        assert material["now"] == repr(float(material["now"]))

@@ -289,3 +289,78 @@ class TestRpc:
         result = sim.run_until_event(sim.process(caller()))
         assert result == "timed-out"
         sim.run()  # late response arrives and must be ignored quietly
+
+
+class TestDeliveryFastPath:
+    """The fast-path arrival event and the legacy process chain must
+    produce identical message schedules; only host speed may differ."""
+
+    def _run_exchange(self, activate_faults):
+        sim = Simulator()
+        network = Network(sim, SeededRng(11),
+                          latency=JitteredLatency(base=50e-6,
+                                                  jitter_fraction=0.3))
+        inbox = network.register("rx")
+        network.register("tx")
+        if activate_faults:
+            # A blocked edge between two ghost nodes flips the table to
+            # active — forcing every real message down the legacy
+            # process chain — without touching tx -> rx traffic.
+            network.install_faults().block("ghost-a", "ghost-b")
+            assert network.faults.active
+        received = []
+
+        def sender():
+            for index in range(20):
+                network.send("tx", "rx", ("msg", index))
+                yield sim.timeout(20e-6)
+
+        def receiver():
+            for _ in range(20):
+                message = yield inbox.get()
+                received.append((repr(sim.now), message))
+
+        sim.process(sender())
+        done = sim.process(receiver())
+        sim.run_until_event(done, limit=1.0)
+        return received, network.stats
+
+    def test_fast_and_slow_paths_deliver_identically(self):
+        fast_log, fast_stats = self._run_exchange(activate_faults=False)
+        slow_log, slow_stats = self._run_exchange(activate_faults=True)
+        assert fast_log == slow_log
+        assert fast_stats.messages_delivered == slow_stats.messages_delivered
+        assert fast_stats.total_bytes == slow_stats.total_bytes
+
+    def test_fast_path_drops_on_crash_during_flight(self):
+        sim = Simulator()
+        network = make_net(sim, latency=FixedLatency(1e-3))
+        network.register("rx")
+        network.register("tx")
+        network.send("tx", "rx", "doomed")
+        network.crash("rx")
+        sim.run()
+        assert network.stats.messages_dropped == 1
+        assert network.stats.messages_delivered == 0
+
+    def test_fast_path_buffers_when_no_getter_waits(self):
+        sim = Simulator()
+        network = make_net(sim, latency=FixedLatency(1e-3))
+        inbox = network.register("rx")
+        network.register("tx")
+        network.send("tx", "rx", "early")
+        sim.run()
+        assert inbox.items == ("early",)
+        assert network.stats.messages_delivered == 1
+
+    def test_total_bytes_tracks_per_edge_sum(self):
+        sim = Simulator()
+        network = make_net(sim)
+        network.register("rx")
+        network.register("tx")
+        for index in range(5):
+            network.send("tx", "rx", ("payload", index))
+        sim.run()
+        assert network.stats.total_bytes == \
+            sum(network.stats.bytes_by_edge.values())
+        assert network.stats.total_bytes > 0

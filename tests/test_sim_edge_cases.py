@@ -254,3 +254,81 @@ class TestDeterminism:
             return log
 
         assert run_once() == run_once()
+
+
+class TestRunLoopEdgeCases:
+    def test_run_until_now_is_a_noop_for_time(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.run(until=1.0)
+        assert sim.now == 1.0
+        # Running "until now" must neither advance time nor fire the
+        # future event scheduled beyond it.
+        sim.timeout(5.0)
+        sim.run(until=1.0)
+        assert sim.now == 1.0
+        assert sim.peek() == 6.0
+
+    def test_run_until_now_fires_events_scheduled_at_now(self):
+        sim = Simulator()
+        fired = []
+        event = sim.event()
+        event.callbacks.append(lambda e: fired.append(e))
+        event.succeed()
+        sim.run(until=sim.now)
+        assert fired == [event]
+
+    def test_peek_on_empty_heap_is_infinite(self):
+        sim = Simulator()
+        assert sim.peek() == float("inf")
+        sim.timeout(2.5)
+        assert sim.peek() == 2.5
+        sim.run()
+        assert sim.peek() == float("inf")
+
+    def test_run_until_event_within_limit_returns_value(self):
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(1.0)
+            return "done"
+
+        proc = sim.process(worker())
+        assert sim.run_until_event(proc, limit=2.0) == "done"
+        assert sim.now == 1.0
+
+    def test_events_processed_counts_every_pop(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.timeout(1.0)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_events_processed_accumulates_across_runs(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.timeout(3.0)
+        sim.run(until=2.0)
+        assert sim.events_processed == 1
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_events_processed_counts_cascading_immediates(self):
+        sim = Simulator()
+
+        def ping_pong():
+            for _ in range(3):
+                yield sim.timeout(0.0)
+
+        proc = sim.process(ping_pong())
+        sim.run_until_event(proc)
+        # bootstrap + three timeouts + the process completion event.
+        assert sim.events_processed == 5
+
+    def test_step_processes_single_event(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.step()
+        assert sim.now == 1.0
+        assert sim.events_processed == 1
