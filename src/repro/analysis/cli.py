@@ -6,15 +6,22 @@ json`` emits a machine-readable report (schema pinned by
 ``tests/test_analysis.py``); ``--format sarif`` emits SARIF 2.1.0 for
 code-scanning backends; ``--format github`` emits GitHub Actions
 workflow commands so findings annotate the PR diff.
+
+``--from-json FILE`` re-renders a report previously saved with
+``--format json`` without re-analyzing — CI analyzes once (against the
+baseline, producing the JSON artifact) and derives the SARIF upload and
+PR annotations from that single run. As a pure renderer it always
+exits 0.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline, BaselineError
 from .engine import all_rules, analyze_paths
@@ -55,6 +62,10 @@ def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
                              "(default: all)")
     parser.add_argument("--ignore", metavar="RULES",
                         help="comma-separated rule ids to skip")
+    parser.add_argument("--from-json", metavar="FILE", dest="from_json",
+                        help="render a report saved with --format json "
+                             "instead of re-analyzing (pure renderer: "
+                             "always exits 0)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -67,8 +78,28 @@ def _split_rules(text: Optional[str]) -> Optional[List[str]]:
 
 
 def _list_rules() -> int:
+    """The full catalogue: static simlint rules plus (when the package
+    is importable) the dynamic sansim rules, with each rule's family,
+    domain, and cross-domain counterpart."""
+    rows: List[Tuple[str, str, str, str, str, str]] = []
     for rule_id, r in sorted(all_rules().items()):
-        print(f"{rule_id}  [{r.severity:7s}]  {r.description}")
+        rows.append((rule_id, r.severity, r.rule_family, r.domain,
+                     r.counterpart, r.description))
+    try:
+        # Imported dynamically: the sansim package is untyped simulation
+        # machinery and must stay out of this module's static surface.
+        sansim: Any = importlib.import_module("repro.sansim.rules")
+    except ImportError:  # pragma: no cover - sansim ships alongside
+        sansim = None
+    if sansim is not None:
+        for rule_id, dyn in sorted(sansim.SANITIZER_RULES.items()):
+            rows.append((rule_id, dyn.severity, dyn.family, dyn.domain,
+                         dyn.counterpart, dyn.description))
+    for rule_id, severity, family, domain, counterpart, description \
+            in rows:
+        twin = f" [twin: {counterpart}]" if counterpart else ""
+        print(f"{rule_id}  [{severity:7s}]  {family}/{domain:7s} "
+              f"{description}{twin}")
     return 0
 
 
@@ -79,13 +110,13 @@ def _emit(document: str, output: Optional[str]) -> None:
         print(document)
 
 
-def _render_text(new: List[Finding], baselined: List[Finding],
+def _render_text(new: List[Finding], baselined: int,
                  files: int, stale: int,
                  output: Optional[str]) -> None:
     if new or output:
         _emit("\n".join(f.render() for f in new), output)
     noun = "file" if files == 1 else "files"
-    suffix = f" ({len(baselined)} baselined)" if baselined else ""
+    suffix = f" ({baselined} baselined)" if baselined else ""
     if stale:
         suffix += f" ({stale} stale baseline entr" \
                   f"{'y' if stale == 1 else 'ies'})"
@@ -93,7 +124,7 @@ def _render_text(new: List[Finding], baselined: List[Finding],
           file=sys.stderr)
 
 
-def _render_json(new: List[Finding], baselined: List[Finding],
+def _render_json(new: List[Finding], baselined: int,
                  files: int, stale: Optional[int],
                  output: Optional[str]) -> None:
     counts: dict = {}
@@ -103,7 +134,7 @@ def _render_json(new: List[Finding], baselined: List[Finding],
         "version": 1,
         "files_checked": files,
         "findings": [f.to_json() for f in new],
-        "baselined": len(baselined),
+        "baselined": baselined,
         "counts_by_rule": counts,
     }
     if stale is not None:  # additive key, only on --baseline runs
@@ -122,7 +153,7 @@ def _render_sarif(new: List[Finding], select: Optional[List[str]],
     _emit(render_sarif(new, active), output)
 
 
-def _render_github(new: List[Finding], baselined: List[Finding],
+def _render_github(new: List[Finding], baselined: int,
                    files: int, output: Optional[str]) -> None:
     lines = []
     for f in new:
@@ -136,9 +167,42 @@ def _render_github(new: List[Finding], baselined: List[Finding],
                      f"{message}")
     _emit("\n".join(lines), output)
     noun = "file" if files == 1 else "files"
-    suffix = f" ({len(baselined)} baselined)" if baselined else ""
+    suffix = f" ({baselined} baselined)" if baselined else ""
     print(f"simlint: {len(new)} finding(s) in {files} {noun}{suffix}",
           file=sys.stderr)
+
+
+def _render_from_json(args: argparse.Namespace,
+                      parser: argparse.ArgumentParser) -> int:
+    """Pure-render mode: reconstruct findings from a saved JSON report
+    and emit the requested format. Exit code is always 0 — the analysis
+    run that produced the report already gated."""
+    try:
+        payload = json.loads(
+            Path(args.from_json).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        parser.error(f"--from-json {args.from_json}: {exc}")
+        raise  # unreachable; keeps type-checkers happy
+    findings = [
+        Finding(path=item["path"], line=int(item["line"]),
+                col=int(item["col"]), rule_id=item["rule_id"],
+                severity=item["severity"], message=item["message"])
+        for item in payload.get("findings", [])
+    ]
+    files = int(payload.get("files_checked", 0))
+    baselined = int(payload.get("baselined", 0))
+    stale = payload.get("stale_baseline")
+    stale_count = int(stale) if stale is not None else None
+    if args.output_format == "json":
+        _render_json(findings, baselined, files, stale_count, args.output)
+    elif args.output_format == "sarif":
+        _render_sarif(findings, None, None, args.output)
+    elif args.output_format == "github":
+        _render_github(findings, baselined, files, args.output)
+    else:
+        _render_text(findings, baselined, files, stale_count or 0,
+                     args.output)
+    return 0
 
 
 def _apply_baseline(args: argparse.Namespace,
@@ -174,6 +238,13 @@ def main(argv: Optional[Sequence[str]] = None,
     args = parser.parse_args(argv)
     if args.list_rules:
         return _list_rules()
+    if args.from_json:
+        if (args.baseline or args.write_baseline or args.update_baseline
+                or args.fail_on_stale or args.select or args.ignore):
+            parser.error("--from-json renders a saved report; baseline "
+                         "and rule-selection flags apply only when "
+                         "analyzing")
+        return _render_from_json(args, parser)
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         parser.error(f"path(s) do not exist: {', '.join(missing)}")
@@ -193,13 +264,13 @@ def main(argv: Optional[Sequence[str]] = None,
         return 0
     new, baselined, stale = _apply_baseline(args, parser, findings)
     if args.output_format == "json":
-        _render_json(new, baselined, files, stale, args.output)
+        _render_json(new, len(baselined), files, stale, args.output)
     elif args.output_format == "sarif":
         _render_sarif(new, select, ignore, args.output)
     elif args.output_format == "github":
-        _render_github(new, baselined, files, args.output)
+        _render_github(new, len(baselined), files, args.output)
     else:
-        _render_text(new, baselined, files, stale or 0, args.output)
+        _render_text(new, len(baselined), files, stale or 0, args.output)
     if new:
         return 1
     if args.fail_on_stale and stale:

@@ -213,6 +213,22 @@ class Rule:
     description: str = ""
     excluded_path_suffixes: Tuple[str, ...] = ()
     required_path_parts: Tuple[str, ...] = ()
+    #: Rule family label; defaults to the id's alphabetic prefix
+    #: (see :attr:`rule_family`).
+    family: str = ""
+    #: simlint rules are static; the sansim catalogue registers its
+    #: rules as ``dynamic`` (see ``repro.sansim.rules``).
+    domain: str = "static"
+    #: The rule id witnessing (or approximating) the same bug class in
+    #: the other domain, e.g. ATM001 <-> SAN002. Empty when none.
+    counterpart: str = ""
+
+    @property
+    def rule_family(self) -> str:
+        if self.family:
+            return self.family
+        prefix = "".join(ch for ch in self.rule_id if ch.isalpha())
+        return prefix or self.rule_id
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         posix = PurePath(ctx.path).as_posix()

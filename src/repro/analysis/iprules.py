@@ -114,6 +114,7 @@ class InterproceduralValidateRaceRule(ProjectRule):
                    "validate(...) and recording its outcome, across the "
                    "handler's call chain")
     required_path_parts = ("milana",)
+    counterpart = "SAN002"
 
     def check_project(self, project: Project) -> Iterable[Finding]:
         walker = InlineWalker(project)
@@ -182,6 +183,7 @@ class CheckThenActRaceRule(ProjectRule):
                    "before a suspension point and written after it "
                    "without re-checking")
     required_path_parts = ("milana", "semel")
+    counterpart = "SAN001"
 
     #: State families that are monotonic counters / metrics, where the
     #: guard-write pattern is not a race.

@@ -377,6 +377,7 @@ class YieldAtomicityRule(Rule):
     description = ("yield between validate(...) and recording its outcome "
                    "in the txn table / prepared marks")
     required_path_parts = ("milana",)
+    counterpart = "SAN001"
 
     MUTATOR_METHODS = frozenset({"mark_prepared", "mark_committed"})
 

@@ -96,23 +96,26 @@ def _network_material(network) -> Dict[str, Any]:
     }
 
 
-def _default_config() -> ClusterConfig:
+def _default_config(simulator_factory=None) -> ClusterConfig:
     """The compact default-config cluster both workloads fingerprint.
 
     Mirrors the ``repro retwis`` / ``repro ycsb`` CLI defaults (mftl
     backend, 3 replicas, ptp-sw clocks, seed 42) at a scale small
-    enough for tier-1.
+    enough for tier-1. ``simulator_factory`` lets the sanitizer's
+    equivalence tests run the same workload on a traced kernel.
     """
     return ClusterConfig(
         num_shards=1, replicas_per_shard=3, num_clients=4,
         backend="mftl", clock_preset="ptp-sw", seed=42,
         populate_keys=300,
-        client_factory=_recording_client_factory)
+        client_factory=_recording_client_factory,
+        simulator_factory=simulator_factory)
 
 
-def _retwis_material() -> Dict[str, Any]:
+def _retwis_material(simulator_factory=None) -> Dict[str, Any]:
     result = run_retwis_on_cluster(
-        _default_config(), alpha=0.6, duration=0.06, warmup=0.015)
+        _default_config(simulator_factory), alpha=0.6, duration=0.06,
+        warmup=0.015)
     cluster = result.cluster
     return {
         "kind": "retwis",
@@ -122,8 +125,8 @@ def _retwis_material() -> Dict[str, Any]:
     }
 
 
-def _ycsb_material() -> Dict[str, Any]:
-    cluster = Cluster(_default_config())
+def _ycsb_material(simulator_factory=None) -> Dict[str, Any]:
+    cluster = Cluster(_default_config(simulator_factory))
     instances = [
         YcsbInstance(cluster.sim, client, cluster.populated_keys,
                      cluster.rng.substream(f"ycsb{client.client_id}"),
@@ -152,9 +155,14 @@ def _ycsb_material() -> Dict[str, Any]:
     }
 
 
-def _figure6_material() -> Dict[str, Any]:
+def _figure6_material(simulator_factory=None) -> Dict[str, Any]:
     from ..harness.experiments import run_figure6
 
+    if simulator_factory is not None:
+        raise ValueError(
+            "figure6 builds its own clusters per data point and does not "
+            "take a simulator_factory; use retwis/ycsb for traced-kernel "
+            "equivalence checks")
     result = run_figure6(client_counts=(2,), alphas=(0.95,),
                          num_keys=150, duration=0.08, warmup=0.02)
     return {"kind": "figure6", "rendering": result.render()}
@@ -167,23 +175,26 @@ _MATERIALS = {
 }
 
 
-def fingerprint_material(kind: str) -> Dict[str, Any]:
+def fingerprint_material(kind: str, simulator_factory=None) -> Dict[str, Any]:
     """Run the ``kind`` workload and return its canonical observables.
 
     Use this to *diff* two kernels when a fingerprint mismatches: dump
-    the material on each commit and compare JSON.
+    the material on each commit and compare JSON. ``simulator_factory``
+    swaps in an alternative kernel (e.g. sansim's TracedSimulator) for
+    equivalence checks; the material format is unchanged.
     """
     if kind not in _MATERIALS:
         raise ValueError(
             f"unknown fingerprint kind {kind!r}; expected one of "
             f"{FINGERPRINT_KINDS}")
-    return _MATERIALS[kind]()
+    return _MATERIALS[kind](simulator_factory=simulator_factory)
 
 
-def schedule_fingerprint(kind: str) -> str:
+def schedule_fingerprint(kind: str, simulator_factory=None) -> str:
     """SHA-256 hex digest of the ``kind`` workload's schedule."""
-    canonical = json.dumps(fingerprint_material(kind), sort_keys=True,
-                           separators=(",", ":"))
+    canonical = json.dumps(
+        fingerprint_material(kind, simulator_factory=simulator_factory),
+        sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 

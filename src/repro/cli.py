@@ -17,6 +17,10 @@ Commands
     Run the simlint determinism/protocol-hygiene static analyzer
     (see ``repro.analysis``); extra arguments are forwarded, e.g.
     ``python -m repro analyze src/repro --format json``.
+``sansim``
+    Run the dynamic happens-before race sanitizer with schedule
+    exploration (see ``repro.sansim``); extra arguments are forwarded,
+    e.g. ``python -m repro sansim retwis --trials 25 --format json``.
 ``wire``
     Validate the typed wire-protocol registry (``--check``) or print
     the message catalogue (``--catalogue``). ``--check`` cross-checks
@@ -176,6 +180,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the simlint static analyzer (repro.analysis)")
     analyze.add_argument("analysis_args", nargs=argparse.REMAINDER,
                          help="arguments forwarded to repro.analysis")
+
+    sansim = sub.add_parser(
+        "sansim", add_help=False,
+        help="run the dynamic race sanitizer (repro.sansim)")
+    sansim.add_argument("sansim_args", nargs=argparse.REMAINDER,
+                        help="arguments forwarded to repro.sansim")
 
     wire = sub.add_parser(
         "wire", help="inspect/validate the typed wire-protocol registry")
@@ -424,6 +434,11 @@ def _command_analyze(args) -> int:
     return analysis_main(args.analysis_args, prog="repro analyze")
 
 
+def _command_sansim(args) -> int:
+    from .sansim.cli import main as sansim_main
+    return sansim_main(args.sansim_args, prog="repro sansim")
+
+
 def _command_wire(args) -> int:
     from pathlib import Path
 
@@ -457,6 +472,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv and argv[0] == "analyze":
         from .analysis.cli import main as analysis_main
         return analysis_main(list(argv[1:]), prog="repro analyze")
+    if argv and argv[0] == "sansim":
+        from .sansim.cli import main as sansim_main
+        return sansim_main(list(argv[1:]), prog="repro sansim")
     args = _build_parser().parse_args(argv)
     handlers: Dict[str, Callable] = {
         "list": _command_list,
@@ -464,6 +482,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "retwis": _command_retwis,
         "ycsb": _command_ycsb,
         "analyze": _command_analyze,
+        "sansim": _command_sansim,
         "wire": _command_wire,
         "nemesis": _command_nemesis,
         "bench": _command_bench,

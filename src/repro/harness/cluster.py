@@ -62,6 +62,9 @@ class ClusterConfig:
     #: local_validation) -> MilanaClient, for baseline client variants
     #: (Centiman, remote-validation-only).
     client_factory: Optional[Callable] = None
+    #: Optional callable () -> Simulator; the sanitizer (repro.sansim)
+    #: supplies a TracedSimulator here. None keeps the production kernel.
+    simulator_factory: Optional[Callable[[], Simulator]] = None
     #: Run an active master with heartbeat failure detection and
     #: automatic primary failover (§3's global master).
     with_master: bool = False
@@ -102,7 +105,9 @@ class Cluster:
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.sim = (config.simulator_factory()
+                    if config.simulator_factory is not None
+                    else Simulator())
         self.rng = SeededRng(config.seed)
         self.network = Network(
             self.sim, self.rng,

@@ -20,6 +20,15 @@ Extends the SEMEL storage server with the transaction API of §4.1:
 A Cooperative Termination daemon watches the transaction table for
 prepared transactions whose coordinator (the client) has gone quiet and
 resolves them with the 4-rule CTP of §4.5.
+
+Sanitizer notes: the handlers below report their shared-state accesses
+to ``sim.tracer`` (repro.sansim) — transaction records as
+``("txn", server, txn_id)``, the single-apply outcome invariant as the
+exclusive ``("txn-apply", server, txn_id)``, per-key validation state
+as ``("keystate", server, key)``, and the in-flight done-events as
+locks. Every site is guarded by one ``tracer is not None`` check, so a
+plain Simulator (tracer = None, a class attribute) pays a single
+attribute load and the schedule is untouched.
 """
 
 from __future__ import annotations
@@ -151,6 +160,9 @@ class MilanaServer(StorageServer):
         result = yield self.backend.get(key, max_timestamp=timestamp)
         state = self.key_states.get(key)
         self.key_states.observe_read(key, timestamp)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_read(("keystate", self.name, key))
         prepared_flag = state.prepared_at_or_before(timestamp)
         if result is None:
             # Distinguish "key never existed" from "snapshot unavailable":
@@ -189,12 +201,17 @@ class MilanaServer(StorageServer):
     def _handle_prepare(self, request: MilanaPrepare):
         self._require_serving()
         record = request.record.to_record()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.begin_section("prepare", record.txn_id)
         inflight = self._inflight_txn_ops.get(record.txn_id)
         if inflight is not None:
             # A duplicate of a prepare still replicating: wait for the
             # original so the vote below is only repeated once the record
             # is quorum-durable.
             yield inflight
+        if tracer is not None:
+            tracer.on_read(("txn", self.name, record.txn_id))
         existing = self.txn_table.get(record.txn_id)
         if existing is not None:
             # Retransmitted prepare: repeat the recorded vote.
@@ -203,20 +220,30 @@ class MilanaServer(StorageServer):
             return MilanaPrepareReply(vote=vote)
         for key, _ in list(record.reads) + list(record.writes):
             self._hydrate_committed(key)
+            if tracer is not None:
+                tracer.on_read(("keystate", self.name, key))
         result = validate(record, self.key_states)
         if not result.ok:
             self.validation_failures += 1
             record.status = ABORTED
             self.txn_table[record.txn_id] = record
+            if tracer is not None:
+                tracer.on_write(("txn", self.name, record.txn_id))
             return MilanaPrepareReply(vote="ABORT", reason=result.reason)
         record.status = PREPARED
         record.prepared_at = self.sim.now
         self.txn_table[record.txn_id] = record
+        if tracer is not None:
+            tracer.on_write(("txn", self.name, record.txn_id))
         for key, _value in record.writes:
             self.key_states.mark_prepared(key, record.txn_id,
                                           record.ts_commit)
+            if tracer is not None:
+                tracer.on_write(("keystate", self.name, key))
         done = self.sim.event()
         self._inflight_txn_ops[record.txn_id] = done
+        if tracer is not None:
+            tracer.on_acquire(("inflight", self.name, record.txn_id))
         try:
             yield from self._replicate_txn_record(record)
         except QuorumError as exc:
@@ -228,18 +255,25 @@ class MilanaServer(StorageServer):
             return MilanaPrepareReply(vote="ABORT", reason=str(exc))
         finally:
             del self._inflight_txn_ops[record.txn_id]
+            if tracer is not None:
+                tracer.on_release(("inflight", self.name, record.txn_id))
             done.succeed()
         return MilanaPrepareReply(vote="SUCCESS")
 
     # -- two-phase commit: decide ----------------------------------------------------------
 
     def _handle_decide(self, request: MilanaDecide):
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.begin_section("decide", request.txn_id)
         inflight = self._inflight_txn_ops.get(request.txn_id)
         if inflight is not None:
             # A duplicate racing the original decide (or a decide racing
             # the prepare's replication): coalesce — the status check
             # below then sees the settled state instead of re-applying.
             yield inflight
+        if tracer is not None:
+            tracer.on_read(("txn", self.name, request.txn_id))
         record = self.txn_table.get(request.txn_id)
         outcome = request.outcome
         if record is None:
@@ -254,6 +288,8 @@ class MilanaServer(StorageServer):
             raise AppError(f"bad outcome {outcome!r}")
         done = self.sim.event()
         self._inflight_txn_ops[request.txn_id] = done
+        if tracer is not None:
+            tracer.on_acquire(("inflight", self.name, request.txn_id))
         try:
             if outcome == COMMITTED:
                 yield from self._apply_commit(record)
@@ -270,6 +306,8 @@ class MilanaServer(StorageServer):
                 f"{exc}") from exc
         finally:
             del self._inflight_txn_ops[request.txn_id]
+            if tracer is not None:
+                tracer.on_release(("inflight", self.name, request.txn_id))
             done.succeed()
         return MilanaDecideReply(status=record.status)
 
@@ -293,18 +331,34 @@ class MilanaServer(StorageServer):
                                          visible=visible))
         if visibles:
             yield self.sim.all_of(visibles)
+        tracer = self.sim.tracer
         for key, _value in record.writes:
             self.key_states.mark_committed(key, version)
             self.key_states.clear_prepared(key, record.txn_id)
+            if tracer is not None:
+                tracer.on_write(("keystate", self.name, key))
         record.status = COMMITTED
+        if tracer is not None:
+            tracer.on_write(("txn", self.name, record.txn_id))
+            # Single-apply invariant: a transaction's outcome is applied
+            # exactly once per primary (the pre-PR-4 CTP bug broke this).
+            tracer.on_write(("txn-apply", self.name, record.txn_id),
+                            exclusive=True)
         if puts:
             yield self.sim.all_of(puts)
         yield from self._replicate_txn_record(record)
 
     def _apply_abort(self, record: TransactionRecord) -> None:
+        tracer = self.sim.tracer
         for key, _value in record.writes:
             self.key_states.clear_prepared(key, record.txn_id)
+            if tracer is not None:
+                tracer.on_write(("keystate", self.name, key))
         record.status = ABORTED
+        if tracer is not None:
+            tracer.on_write(("txn", self.name, record.txn_id))
+            tracer.on_write(("txn-apply", self.name, record.txn_id),
+                            exclusive=True)
 
     # -- replication of transaction records --------------------------------------------------
 
@@ -326,21 +380,34 @@ class MilanaServer(StorageServer):
         only ever moves forward (PREPARED -> COMMITTED/ABORTED).
         """
         record = request.record.to_record()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_read(("txn", self.name, record.txn_id))
         existing = self.txn_table.get(record.txn_id)
         if existing is not None and existing.status in (COMMITTED, ABORTED):
             yield from ()
             return Ack()
         self.txn_table[record.txn_id] = record
+        if tracer is not None:
+            tracer.on_write(("txn", self.name, record.txn_id))
         if record.status == COMMITTED:
             version = record.commit_version_of
             for key, value in record.writes:
                 if version not in self.backend.versions_of(key):
                     yield self.backend.put(key, value, version)
+                    if tracer is not None:
+                        # Versioned MVCC stores tolerate concurrent puts
+                        # by design; record the edge, never flag it.
+                        tracer.on_write(("store", self.name, key),
+                                        relaxed=True)
         return Ack()
 
     # -- status queries (CTP / recovery) ------------------------------------------------------
 
     def _handle_txn_status(self, request: MilanaTxnStatus):
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_read(("txn", self.name, request.txn_id))
         record = self.txn_table.get(request.txn_id)
         yield from ()
         if record is None:
@@ -388,7 +455,17 @@ class MilanaServer(StorageServer):
         coordinator termination query as the first move: if the client
         is reachable and already decided, its answer is authoritative
         and no peer round is needed."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # The CTP daemon is long-lived: each resolution is its own
+            # section so guard windows reset per transaction.
+            tracer.begin_section("ctp", record.txn_id)
+            tracer.on_read(("txn", self.name, record.txn_id))
+            for key, _value in record.writes:
+                tracer.on_read(("keystate", self.name, key))
         outcome = yield from self._query_coordinator(record)
+        if tracer is not None:
+            tracer.on_read(("txn", self.name, record.txn_id))
         if record.status != PREPARED:
             return  # decided while we were querying
         if outcome is None:
@@ -407,6 +484,8 @@ class MilanaServer(StorageServer):
                     # retry later.
                     return
                 statuses.append(reply.status)
+            if tracer is not None:
+                tracer.on_read(("txn", self.name, record.txn_id))
             if record.status != PREPARED:
                 return  # decided while we were querying
             if COMMITTED in statuses:
@@ -423,11 +502,15 @@ class MilanaServer(StorageServer):
             # this very transaction: wait it out instead of applying the
             # outcome a second time underneath it.
             yield inflight
+        if tracer is not None:
+            tracer.on_read(("txn", self.name, record.txn_id))
         if record.status != PREPARED:
             return  # decided while we were querying / waiting
         self.ctp_resolutions += 1
         done = self.sim.event()
         self._inflight_txn_ops[record.txn_id] = done
+        if tracer is not None:
+            tracer.on_acquire(("inflight", self.name, record.txn_id))
         try:
             if outcome == COMMITTED:
                 yield from self._apply_commit(record)
@@ -436,6 +519,8 @@ class MilanaServer(StorageServer):
                 yield from self._replicate_txn_record(record)
         finally:
             del self._inflight_txn_ops[record.txn_id]
+            if tracer is not None:
+                tracer.on_release(("inflight", self.name, record.txn_id))
             done.succeed()
         # Propagate the decision to the other participants, reliably:
         # each delivery is acked and retried — a lost oneway here would

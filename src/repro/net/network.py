@@ -260,6 +260,11 @@ class Network:
             return
         self.stats.messages_delivered += 1
         message = event.message
+        sanitizer = self.sim.tracer
+        if sanitizer is not None:
+            # Sanitizer seam: remember the sender clock this message
+            # carries so the receiver's dispatch loop can adopt it.
+            sanitizer.tag_payload(message)
         inbox = self._inboxes[dst]
         getters = inbox._getters
         if getters:

@@ -145,6 +145,12 @@ class RpcNode:
     def _dispatch_loop(self):
         while True:
             message = yield self._inbox.get()
+            tracer = self.sim.tracer
+            if tracer is not None:
+                # Sanitizer seam: this loop is a courier for unrelated
+                # conversations — adopt the message's own causal clock
+                # rather than accumulating one across all of them.
+                tracer.adopt_payload(message)
             if isinstance(message, Request):
                 self._trace("request", method=message.method,
                             request_id=message.request_id,
@@ -166,6 +172,12 @@ class RpcNode:
                     request.request_id, ok=False,
                     payload=f"no handler for {request.method!r}"))
             return
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # Sanitizer seam: label this request's process so witnesses
+            # report "rpc:milana.prepare" rather than a generator name.
+            tracer.begin_section(f"rpc:{request.method}",
+                                 f"{request.src}->{self.name}")
         try:
             result = yield from handler(request.payload)
             spec = spec_for(request.method)

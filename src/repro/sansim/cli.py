@@ -1,0 +1,225 @@
+"""sansim command line: ``python -m repro sansim [workloads ...]``.
+
+Runs the schedule explorer over the named workloads, reconciles the
+deduplicated witnesses with simlint's ATM findings, and renders the
+report. Exit codes mirror simlint: 0 clean (or all witnesses
+baselined), 1 new witnesses (or stale baseline entries under
+``--fail-on-stale``), 2 usage error. Under ``--expect-witness`` the
+polarity flips — the seeded-bug CI job *requires* a witness — and the
+run exits 0 iff at least one witness was found.
+
+``--replay workload:trial:policy:seed`` re-runs exactly one trial (the
+spec every witness prints) instead of exploring; determinism of the
+kernel plus the seeded policies makes the witness reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.baseline import Baseline, BaselineError
+from .explorer import (ExplorationResult, explore, parse_replay_spec,
+                       replay_spec)
+from .policies import POLICY_NAMES
+from .report import (build_report, render_payload, render_sarif_report,
+                     render_text, witness_to_finding)
+from .witnesses import Witness
+from .workloads import workload_names
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_WORKLOADS = ("retwis", "ycsb")
+
+
+def build_parser(prog: str = "repro sansim") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=("sansim: happens-before race sanitizer with "
+                     "systematic schedule exploration for the "
+                     "SEMEL/MILANA simulation"))
+    parser.add_argument("workloads", nargs="*",
+                        default=list(DEFAULT_WORKLOADS),
+                        help="workloads to explore "
+                             f"(default: {' '.join(DEFAULT_WORKLOADS)}; "
+                             f"see --list-workloads)")
+    parser.add_argument("--trials", type=int, default=25,
+                        help="schedule trials per workload (default: 25)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="exploration seed (default: 0)")
+    parser.add_argument("--policy", choices=POLICY_NAMES,
+                        help="force one tie-break policy for every trial "
+                             "(default: trial 0 fifo, then alternating "
+                             "random/targeted)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="output_format")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="suppress witnesses recorded in this "
+                             "baseline file (simlint baseline format)")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="record current witnesses as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="prune --baseline entries that no longer "
+                             "fire, rewriting the file in place")
+    parser.add_argument("--fail-on-stale", action="store_true",
+                        help="exit 1 if the baseline contains entries "
+                             "that no longer fire")
+    parser.add_argument("--expect-witness", action="store_true",
+                        help="invert the exit polarity: succeed iff at "
+                             "least one witness was found (seeded-bug "
+                             "CI jobs)")
+    parser.add_argument("--replay", metavar="SPEC",
+                        help="re-run one trial from a witness's "
+                             "workload:trial:policy:seed spec")
+    parser.add_argument("--list-workloads", action="store_true",
+                        help="print the workload catalogue and exit")
+    return parser
+
+
+def _list_workloads() -> int:
+    from .workloads import STATIC_SCOPES
+    for name in workload_names():
+        scope = STATIC_SCOPES.get(name, "")
+        print(f"{name:10s}  reconciled against: {scope}")
+    return 0
+
+
+def _explore_all(args: argparse.Namespace) -> List[ExplorationResult]:
+    results = []
+    for workload in args.workloads:
+        result = explore(workload, trials=args.trials, seed=args.seed,
+                         policy=args.policy)
+        print(f"sansim: explored {workload}: {args.trials} trial(s), "
+              f"{len(result.witnesses)} distinct witness(es)",
+              file=sys.stderr)
+        results.append(result)
+    return results
+
+
+def _replay_one(args: argparse.Namespace,
+                parser: argparse.ArgumentParser
+                ) -> List[ExplorationResult]:
+    try:
+        spec = parse_replay_spec(args.replay)
+    except ValueError as exc:
+        parser.error(str(exc))
+        raise  # unreachable; keeps type-checkers happy
+    trial = replay_spec(spec)
+    print(f"sansim: replayed {spec.render()}: "
+          f"{len(trial.witnesses)} witness(es)", file=sys.stderr)
+    return [ExplorationResult(
+        workload=spec.workload, trials=1, seed=spec.seed,
+        witnesses=trial.witnesses,
+        flagged_locations=set(trial.flagged_locations),
+        trial_stats=[trial.stats])]
+
+
+def _split_witnesses(baseline: Baseline, witnesses: Sequence[Witness]
+                     ) -> Tuple[List[Witness], List[Witness]]:
+    """Partition witnesses into (new, baselined) via Finding identity."""
+    findings = [witness_to_finding(w) for w in witnesses]
+    new_findings, _matched = baseline.split(findings)
+    budget = Counter((f.rule_id, f.path, f.message) for f in new_findings)
+    new: List[Witness] = []
+    matched: List[Witness] = []
+    for finding, witness in zip(findings, witnesses):
+        key = (finding.rule_id, finding.path, finding.message)
+        if budget[key] > 0:
+            budget[key] -= 1
+            new.append(witness)
+        else:
+            matched.append(witness)
+    return new, matched
+
+
+def _emit(document: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(document + "\n", encoding="utf-8")
+    else:
+        print(document)
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         prog: str = "repro sansim") -> int:
+    parser = build_parser(prog)
+    args = parser.parse_args(argv)
+    if args.list_workloads:
+        return _list_workloads()
+    if args.trials < 1:
+        parser.error("--trials must be at least 1")
+    known = set(workload_names())
+    unknown = [w for w in args.workloads if w not in known]
+    if unknown:
+        parser.error(f"unknown workload(s): {', '.join(unknown)}; "
+                     f"expected one of {', '.join(sorted(known))}")
+    if (args.update_baseline or args.fail_on_stale) and not args.baseline:
+        parser.error("--update-baseline/--fail-on-stale require "
+                     "--baseline FILE")
+    if args.replay:
+        results = _replay_one(args, parser)
+    else:
+        results = _explore_all(args)
+    report = build_report(results)
+    findings = [witness_to_finding(w) for w in report.witnesses]
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(f"sansim: wrote {len(findings)} entr"
+              f"{'y' if len(findings) == 1 else 'ies'} to "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+
+    stale: Optional[int] = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, BaselineError) as exc:
+            parser.error(str(exc))
+            raise  # unreachable; keeps type-checkers happy
+        new, baselined = _split_witnesses(baseline, report.witnesses)
+        stale = len(baseline.stale_entries(findings))
+        if args.update_baseline and stale:
+            baseline.pruned(findings).save(args.baseline)
+            print(f"sansim: pruned {stale} stale entr"
+                  f"{'y' if stale == 1 else 'ies'} from {args.baseline}",
+                  file=sys.stderr)
+            stale = 0
+    else:
+        new, baselined = list(report.witnesses), []
+
+    if args.output_format == "json":
+        payload = render_payload(results, report)
+        payload["new_witnesses"] = [w.fingerprint for w in new]
+        payload["baselined"] = len(baselined)
+        if stale is not None:
+            payload["stale_baseline"] = stale
+        _emit(json.dumps(payload, indent=2), args.output)
+    elif args.output_format == "sarif":
+        _emit(render_sarif_report(new), args.output)
+    else:
+        document = render_text(results, report, new_witnesses=new,
+                               baselined=len(baselined))
+        _emit(document, args.output)
+
+    if args.expect_witness:
+        if report.witnesses:
+            return 0
+        print("sansim: expected at least one witness, found none",
+              file=sys.stderr)
+        return 1
+    if new:
+        return 1
+    if args.fail_on_stale and stale:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

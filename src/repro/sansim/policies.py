@@ -1,0 +1,119 @@
+"""Tie-break policies: how the explorer permutes same-timestamp events.
+
+The kernel's heap orders events by ``(time, seq)``; everything at the
+same simulated instant is causally unordered as far as the event queue
+is concerned, so any permutation of a tie is a legal schedule. Policies
+choose which tied entry fires next:
+
+* :class:`FifoTieBreak` — index 0, i.e. scheduling order: byte-identical
+  to the production kernel (the equivalence tests pin this).
+* :class:`RandomTieBreak` — uniform seeded choice; the breadth pass.
+* :class:`TargetedTieBreak` — DPOR-lite: prefers tied entries whose
+  pushes came from sections that touched *hot* (flagged or previously
+  raced) locations, biasing exploration toward the access pairs the
+  happens-before engine already suspects.
+
+Seeds flow through :class:`repro.sim.rng.SeededRng` named streams,
+which derive the underlying state with sha256 — deterministic across
+runs and platforms, so a trial spec is a complete replay recipe, and
+independent of every simulation substream (adding a policy draw never
+perturbs workload randomness).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, Tuple
+
+from ..sim.rng import SeededRng
+from .runtime import SanitizerRuntime
+
+__all__ = [
+    "FifoTieBreak",
+    "RandomTieBreak",
+    "TargetedTieBreak",
+    "TieBreakPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+POLICY_NAMES = ("fifo", "random", "targeted")
+
+
+class TieBreakPolicy(Protocol):
+    """Chooses which of the tied heap entries fires next."""
+
+    name: str
+
+    def choose(self, tied: Sequence[Tuple]) -> int:
+        """Return an index into ``tied`` (entries are ``(time, seq,
+        event)`` in ascending sequence order)."""
+        ...  # pragma: no cover - protocol
+
+
+class FifoTieBreak:
+    """Scheduling order — the production kernel's schedule, exactly."""
+
+    name = "fifo"
+
+    def choose(self, tied: Sequence[Tuple]) -> int:
+        return 0
+
+
+class RandomTieBreak:
+    """Uniform seeded permutation of every tie."""
+
+    name = "random"
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = SeededRng(seed, "sansim/random")
+
+    def choose(self, tied: Sequence[Tuple]) -> int:
+        return self._rng.randint(0, len(tied) - 1)
+
+
+class TargetedTieBreak:
+    """DPOR-lite: bias reorderings toward flagged access pairs.
+
+    The runtime marks heap sequence numbers pushed by contexts that
+    touched hot locations (``SanitizerRuntime.hot_seqs``); with
+    probability ``bias`` the policy fires one of those first, otherwise
+    it falls back to a uniform choice. Hot locations accumulate across
+    trials (see :mod:`repro.sansim.explorer`), so later trials search
+    the neighbourhood of earlier near-misses.
+    """
+
+    name = "targeted"
+
+    def __init__(self, seed: int, tracer: SanitizerRuntime,
+                 bias: float = 0.8) -> None:
+        self.seed = seed
+        self.bias = bias
+        self._rng = SeededRng(seed, "sansim/targeted")
+        self._tracer = tracer
+
+    def choose(self, tied: Sequence[Tuple]) -> int:
+        if len(tied) > 1:
+            hot_seqs = self._tracer.hot_seqs
+            if hot_seqs:
+                hot = [index for index, entry in enumerate(tied)
+                       if entry[1] in hot_seqs]
+                if hot and self._rng.random() < self.bias:
+                    return hot[self._rng.randint(0, len(hot) - 1)]
+        return self._rng.randint(0, len(tied) - 1)
+
+
+def make_policy(name: str, seed: int,
+                tracer: Optional[SanitizerRuntime] = None) -> TieBreakPolicy:
+    """Instantiate a policy by name (the explorer's factory)."""
+    if name == "fifo":
+        return FifoTieBreak()
+    if name == "random":
+        return RandomTieBreak(seed)
+    if name == "targeted":
+        if tracer is None:
+            raise ValueError("targeted tie-break needs the trial's tracer")
+        return TargetedTieBreak(seed, tracer)
+    raise ValueError(
+        f"unknown tie-break policy {name!r}; expected one of "
+        f"{POLICY_NAMES}")

@@ -1,0 +1,271 @@
+"""Reconciling dynamic witnesses with simlint's static ATM findings.
+
+simlint's ATM001/ATM002 point at code *shaped* like an atomicity
+violation; a sansim witness proves one *happened* under a concrete
+schedule. The reconciliation report joins the two views:
+
+* ``confirmed-by-witness`` — a static finding whose enclosing function
+  also appears in a witness's access sites or application stack for the
+  same file: the approximation was right, and the witness carries the
+  replay seed that proves it.
+* ``static-only`` — a static finding no trial confirmed. Not
+  exonerated — the explorer's trial budget is finite — but lower
+  priority than a confirmed one.
+* ``dynamic-only`` — a witness the static rules missed entirely
+  (e.g. the race spans files or flows the inliner cannot follow);
+  these are candidate new simlint rules.
+
+The JSON payload is self-contained; SARIF rendering reuses
+``repro.analysis.sarif`` with the SAN rule descriptors so code-scanning
+backends ingest dynamic witnesses exactly like static findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.engine import analyze_paths
+from ..analysis.findings import Finding
+from .explorer import ExplorationResult
+from .rules import SANITIZER_RULES
+from .witnesses import Site, Witness
+from .workloads import STATIC_SCOPES
+
+__all__ = [
+    "ReconciliationReport",
+    "build_report",
+    "reconcile",
+    "render_payload",
+    "render_sarif_report",
+    "render_text",
+    "witness_to_finding",
+]
+
+#: Static rules whose bug class the sanitizer witnesses dynamically.
+RECONCILED_RULES = ("ATM001", "ATM002")
+
+CONFIRMED = "confirmed-by-witness"
+STATIC_ONLY = "static-only"
+DYNAMIC_ONLY = "dynamic-only"
+
+
+def witness_to_finding(witness: Witness) -> Finding:
+    """A witness as a :class:`Finding` (for SARIF/baseline machinery).
+
+    The message is the witness's canonical message, so the finding's
+    line-free fingerprint inherits the witness's stability properties.
+    """
+    return Finding(
+        path=witness.acting.path,
+        line=witness.acting.line,
+        col=0,
+        rule_id=witness.rule_id,
+        severity="error",
+        message=witness.message,
+    )
+
+
+# -- static-side helpers ----------------------------------------------------
+
+
+def _enclosing_function(source_cache: Dict[str, Optional[ast.AST]],
+                        path: str, line: int) -> str:
+    """Name of the innermost function containing ``line`` in ``path``."""
+    if path not in source_cache:
+        try:
+            source_cache[path] = ast.parse(
+                Path(path).read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            source_cache[path] = None
+    tree = source_cache[path]
+    if tree is None:
+        return ""
+    best_name = ""
+    best_span = None
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if node.lineno <= line <= end:
+            span = end - node.lineno
+            if best_span is None or span < best_span:
+                best_span = span
+                best_name = node.name
+    return best_name
+
+
+def _site_functions(site: Site) -> Set[Tuple[str, str]]:
+    """(path, function) pairs a site touches, including its stack."""
+    pairs = {(site.path, site.function)}
+    for frame in site.frames:
+        # Rendered as "path:line in function" by the runtime.
+        head, sep, function = frame.partition(" in ")
+        if not sep:
+            continue
+        path, _colon, _line = head.rpartition(":")
+        if path:
+            pairs.add((path, function))
+    return pairs
+
+
+def _witness_functions(witness: Witness) -> Set[Tuple[str, str]]:
+    pairs = _site_functions(witness.acting) | _site_functions(witness.prior)
+    if witness.foreign is not None:
+        pairs |= _site_functions(witness.foreign)
+    return pairs
+
+
+# -- reconciliation ---------------------------------------------------------
+
+
+class ReconciliationReport:
+    """The joined static/dynamic view for one exploration run."""
+
+    def __init__(self, witnesses: List[Witness],
+                 static_findings: List[Finding],
+                 entries: List[Dict[str, Any]],
+                 scopes: List[str]) -> None:
+        self.witnesses = witnesses
+        self.static_findings = static_findings
+        self.entries = entries
+        self.scopes = scopes
+
+    @property
+    def summary(self) -> Dict[str, int]:
+        counts = {CONFIRMED: 0, STATIC_ONLY: 0, DYNAMIC_ONLY: 0}
+        for entry in self.entries:
+            counts[entry["status"]] += 1
+        return counts
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scopes": list(self.scopes),
+            "rules": list(RECONCILED_RULES),
+            "summary": self.summary,
+            "entries": self.entries,
+        }
+
+
+def reconcile(witnesses: Sequence[Witness],
+              static_findings: Sequence[Finding],
+              scopes: Sequence[str]) -> ReconciliationReport:
+    """Join witnesses to static findings by (file, enclosing function)."""
+    source_cache: Dict[str, Optional[ast.AST]] = {}
+    witness_pairs = [(w, _witness_functions(w)) for w in witnesses]
+    entries: List[Dict[str, Any]] = []
+    matched_fingerprints: Set[str] = set()
+    for finding in static_findings:
+        function = _enclosing_function(source_cache, finding.path,
+                                       finding.line)
+        matches = [
+            w for w, pairs in witness_pairs
+            if function and (finding.path, function) in pairs
+        ]
+        entry: Dict[str, Any] = {
+            "status": CONFIRMED if matches else STATIC_ONLY,
+            "static": finding.to_json(),
+            "function": function,
+            "witnesses": [w.fingerprint for w in matches],
+        }
+        matched_fingerprints.update(w.fingerprint for w in matches)
+        entries.append(entry)
+    for witness in witnesses:
+        if witness.fingerprint not in matched_fingerprints:
+            entries.append({
+                "status": DYNAMIC_ONLY,
+                "witness": witness.fingerprint,
+                "rule": witness.rule_id,
+                "location": witness.location,
+            })
+    return ReconciliationReport(list(witnesses), list(static_findings),
+                                entries, list(scopes))
+
+
+def _static_findings_for(scopes: Sequence[str]) -> List[Finding]:
+    existing = [scope for scope in scopes if Path(scope).exists()]
+    if not existing:
+        return []
+    findings, _files = analyze_paths(existing, select=list(RECONCILED_RULES))
+    return findings
+
+
+def build_report(results: Sequence[ExplorationResult]
+                 ) -> ReconciliationReport:
+    """Reconciliation across every explored workload's static scope."""
+    scopes: List[str] = []
+    for result in results:
+        scope = STATIC_SCOPES.get(result.workload)
+        if scope is not None and scope not in scopes:
+            scopes.append(scope)
+    witnesses: List[Witness] = []
+    seen: Set[str] = set()
+    for result in results:
+        for witness in result.witnesses:
+            if witness.fingerprint not in seen:
+                seen.add(witness.fingerprint)
+                witnesses.append(witness)
+    return reconcile(witnesses, _static_findings_for(scopes), scopes)
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def render_payload(results: Sequence[ExplorationResult],
+                   report: ReconciliationReport) -> Dict[str, Any]:
+    """The canonical JSON document ``repro sansim --format json`` emits."""
+    return {
+        "version": 1,
+        "tool": "sansim",
+        "runs": [
+            {
+                "workload": result.workload,
+                "trials": result.trials,
+                "seed": result.seed,
+                "witnesses": [w.fingerprint for w in result.witnesses],
+                "flagged_locations": sorted(result.flagged_locations),
+                "trial_stats": result.trial_stats,
+            }
+            for result in results
+        ],
+        "witnesses": [w.to_json() for w in report.witnesses],
+        "reconciliation": report.to_json(),
+    }
+
+
+def render_sarif_report(witnesses: Sequence[Witness]) -> str:
+    """SARIF 2.1.0 for the witnesses, via the simlint emitter."""
+    from ..analysis.sarif import render_sarif
+
+    findings = sorted((witness_to_finding(w) for w in witnesses),
+                      key=lambda f: f.sort_key)
+    # SanitizerRule duck-types the severity/description surface the
+    # emitter reads from analysis rules.
+    return render_sarif(findings, dict(SANITIZER_RULES))  # type: ignore[arg-type]
+
+
+def render_text(results: Sequence[ExplorationResult],
+                report: ReconciliationReport,
+                new_witnesses: Optional[Sequence[Witness]] = None,
+                baselined: int = 0) -> str:
+    shown = report.witnesses if new_witnesses is None else new_witnesses
+    lines: List[str] = []
+    for witness in shown:
+        lines.append(witness.render())
+        lines.append("")
+    summary = report.summary
+    for result in results:
+        lines.append(
+            f"sansim: {result.workload}: {len(result.witnesses)} "
+            f"witness(es) in {result.trials} trial(s) (seed "
+            f"{result.seed})")
+    lines.append(
+        f"sansim: reconciliation vs simlint "
+        f"({', '.join(RECONCILED_RULES)}): "
+        f"{summary[CONFIRMED]} confirmed-by-witness, "
+        f"{summary[STATIC_ONLY]} static-only, "
+        f"{summary[DYNAMIC_ONLY]} dynamic-only")
+    if baselined:
+        lines.append(f"sansim: {baselined} witness(es) baselined")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Race witnesses: what the happens-before engine reports.
+
+A witness names both access sites with short application-level stacks,
+the tracked location, and (once the explorer stamps it) the exact trial
+spec — workload, trial index, tie-break policy and seed — that
+deterministically replays the violating interleaving.
+
+Witness *messages* and *fingerprints* are canonical: they name files,
+functions and location kinds but never line numbers, transaction ids or
+keys, so the same race produces the same fingerprint across trials,
+seeds and unrelated edits — the property the sansim baseline (same
+lifecycle as simlint's) and golden snapshots rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Site", "Witness", "canonical_location"]
+
+
+@dataclass(frozen=True)
+class Site:
+    """One access site: where instrumented code touched tracked state."""
+
+    path: str
+    line: int
+    function: str
+    #: Short application stack, innermost first: "path:line in function".
+    frames: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} in {self.function}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "function": self.function,
+            "frames": list(self.frames),
+        }
+
+
+def canonical_location(location: Tuple) -> str:
+    """Instance-free display form of a tracked location.
+
+    ``("txn", "srv-0-0", "c1.17")`` canonicalizes to ``txn@srv-0-0``:
+    the transaction id (or key) varies per run, the race class does not.
+    """
+    kind = str(location[0])
+    scope = str(location[1]) if len(location) > 1 else ""
+    return f"{kind}@{scope}" if scope else kind
+
+
+@dataclass
+class Witness:
+    """A confirmed dynamic race: two access sites and how to replay them."""
+
+    rule_id: str  # SAN001 | SAN002
+    location: str  # canonical location (kind@scope)
+    message: str
+    #: The write that completed the race (reported site).
+    acting: Site
+    #: SAN001: the stale guard read. SAN002: the earlier write.
+    prior: Site
+    #: SAN001 only: the concurrent write that invalidated the guard.
+    foreign: Optional[Site] = None
+    section: str = ""
+    #: Concrete location instance (debugging aid; not canonical).
+    detail: str = ""
+    #: Replay spec, stamped by the explorer.
+    workload: str = ""
+    trial: int = -1
+    policy: str = ""
+    seed: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity: rule, canonical location, both site functions."""
+        basis = "|".join((
+            self.rule_id, self.location,
+            f"{self.acting.path}:{self.acting.function}",
+            f"{self.prior.path}:{self.prior.function}",
+        ))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def replay_command(self) -> str:
+        return (f"python -m repro sansim {self.workload} "
+                f"--replay {self.workload}:{self.trial}:"
+                f"{self.policy}:{self.seed}")
+
+    def stamped(self, workload: str, trial: int, policy: str,
+                seed: int) -> "Witness":
+        return replace(self, workload=workload, trial=trial,
+                       policy=policy, seed=seed)
+
+    def render(self) -> str:
+        lines = [
+            f"{self.acting.path}:{self.acting.line} "
+            f"{self.rule_id} [error] {self.message}",
+            f"    acting write : {self.acting.render()}",
+            f"    prior access : {self.prior.render()}",
+        ]
+        if self.foreign is not None:
+            lines.append(f"    foreign write: {self.foreign.render()}")
+        for frame in self.acting.frames[1:4]:
+            lines.append(f"        from {frame}")
+        if self.workload:
+            lines.append(f"    replay       : {self.replay_command}")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule": self.rule_id,
+            "location": self.location,
+            "detail": self.detail,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "section": self.section,
+            "acting": self.acting.to_json(),
+            "prior": self.prior.to_json(),
+            "replay": {
+                "workload": self.workload,
+                "trial": self.trial,
+                "policy": self.policy,
+                "seed": self.seed,
+                "command": self.replay_command,
+            },
+        }
+        if self.foreign is not None:
+            payload["foreign"] = self.foreign.to_json()
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload

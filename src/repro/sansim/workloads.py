@@ -1,0 +1,120 @@
+"""Workloads the sanitizer explores.
+
+Each workload is a callable taking a ``simulator_factory`` (producing
+the trial's :class:`~repro.sansim.kernel.TracedSimulator`) and running
+one bounded, deterministic protocol exercise under it:
+
+* ``retwis`` / ``ycsb`` — smoke-scale versions of the protocol
+  workloads CI fingerprints (dram backend, 1x3 shard, 3 clients, ~20 ms
+  of simulated time): enough prepare/decide/replicate traffic to
+  exercise every instrumented path while keeping 25 trials in budget.
+* ``ctp-race`` — the seeded-bug fixture
+  (``tests/fixtures/sansim/milana/ctp_race.py``): a MILANA server whose
+  CTP path reintroduces the pre-PR-4 commit-without-lock race, plus a
+  coordinator stub that deterministically lands a decide inside the
+  CTP window. The explorer must find a witness here; the real server
+  under the same scenario must stay clean.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+from typing import Callable, Dict
+
+from ..harness.cluster import Cluster, ClusterConfig
+from ..harness.runner import run_retwis_on_cluster
+from ..workloads import YcsbInstance
+
+__all__ = [
+    "STATIC_SCOPES",
+    "WORKLOADS",
+    "fixture_path",
+    "run_ctp_race",
+    "run_ctp_race_safe",
+    "run_retwis_smoke",
+    "run_ycsb_smoke",
+    "workload_names",
+]
+
+#: Paths (relative to the repository root) simlint analyzes when
+#: reconciling each workload's witnesses against static findings.
+STATIC_SCOPES: Dict[str, str] = {
+    "retwis": "src/repro",
+    "ycsb": "src/repro",
+    "ctp-race": "tests/fixtures/sansim",
+}
+
+
+def _smoke_config(simulator_factory, seed: int) -> ClusterConfig:
+    return ClusterConfig(
+        num_shards=1, replicas_per_shard=3, num_clients=3,
+        backend="dram", clock_preset="ptp-sw", seed=seed,
+        populate_keys=120, simulator_factory=simulator_factory)
+
+
+def run_retwis_smoke(simulator_factory: Callable) -> None:
+    run_retwis_on_cluster(_smoke_config(simulator_factory, seed=11),
+                          alpha=0.9, duration=0.02, warmup=0.005)
+
+
+def run_ycsb_smoke(simulator_factory: Callable) -> None:
+    cluster = Cluster(_smoke_config(simulator_factory, seed=13))
+    instances = [
+        YcsbInstance(cluster.sim, client, cluster.populated_keys,
+                     cluster.rng.substream(f"ycsb{client.client_id}"),
+                     workload="A", alpha=0.99)
+        for client in cluster.clients
+    ]
+    procs = [instance.run(0.02) for instance in instances]
+    for proc in procs:
+        cluster.sim.run_until_event(proc)
+
+
+def _repo_root() -> Path:
+    # src/repro/sansim/workloads.py -> repository root is three up from
+    # the package directory.
+    return Path(__file__).resolve().parents[3]
+
+
+def fixture_path() -> Path:
+    """Location of the seeded CTP-race fixture module."""
+    return (_repo_root() / "tests" / "fixtures" / "sansim" / "milana"
+            / "ctp_race.py")
+
+
+def _load_fixture():
+    path = fixture_path()
+    if not path.exists():
+        raise FileNotFoundError(
+            f"ctp-race fixture not found at {path}; the sansim seeded-bug "
+            f"workload needs the repository checkout")
+    spec = importlib.util.spec_from_file_location("sansim_ctp_race", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_ctp_race(simulator_factory: Callable) -> None:
+    """The seeded pre-PR-4 CTP bug, racy server variant."""
+    _load_fixture().run_scenario(simulator_factory, racy=True)
+
+
+def run_ctp_race_safe(simulator_factory: Callable) -> None:
+    """The same scenario against the real (fixed) MilanaServer: the
+    specificity control — it must produce zero witnesses."""
+    _load_fixture().run_scenario(simulator_factory, racy=False)
+
+
+WORKLOADS: Dict[str, Callable[[Callable], None]] = {
+    "retwis": run_retwis_smoke,
+    "ycsb": run_ycsb_smoke,
+    "ctp-race": run_ctp_race,
+    "ctp-race-safe": run_ctp_race_safe,
+}
+
+
+def workload_names() -> list:
+    """Workloads exposed on the CLI (the safe control is test-only)."""
+    return [name for name in WORKLOADS if name != "ctp-race-safe"]

@@ -142,6 +142,9 @@ class StorageServer:
         value = request.value
         version = Version(*request.version)
         inflight_key = (key, version)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.begin_section("put", key)
         inflight = self._inflight_puts.get(inflight_key)
         if inflight is not None:
             # A duplicate of a put still being written: wait for the
@@ -150,6 +153,8 @@ class StorageServer:
             yield inflight
             yield from self._finish_replication(key, value, version)
             return SemelPutReply(applied=True, duplicate=True)
+        if tracer is not None:
+            tracer.on_read(("store", self.name, key))
         existing = self.backend.versions_of(key)
         if version in existing:
             # Retransmitted request: repeat the earlier success response —
@@ -168,12 +173,24 @@ class StorageServer:
         done = self.sim.event()
         self._inflight_puts[inflight_key] = done
         self._unreplicated.add(inflight_key)
+        if tracer is not None:
+            tracer.on_acquire(("inflight-put", self.name, key,
+                               tuple(version)))
         try:
             yield self.backend.put(key, value, version)
+            if tracer is not None:
+                # Relaxed: the MVCC backend tolerates unordered inserts
+                # by design (inconsistent replication, §3.2); version
+                # stamps recover the order, so concurrent writers to the
+                # same key are not a race.
+                tracer.on_write(("store", self.name, key), relaxed=True)
             yield from self._replicate(SemelReplicate(
                 op="put", key=key, value=value, version=tuple(version)))
             self._unreplicated.discard(inflight_key)
         finally:
+            if tracer is not None:
+                tracer.on_release(("inflight-put", self.name, key,
+                                   tuple(version)))
             del self._inflight_puts[inflight_key]
             done.succeed()
         return SemelPutReply(applied=True, duplicate=False)
@@ -208,6 +225,10 @@ class StorageServer:
                 self._inflight_puts[inflight_key] = done
                 try:
                     yield self.backend.put(key, request.value, version)
+                    tracer = self.sim.tracer
+                    if tracer is not None:
+                        tracer.on_write(("store", self.name, key),
+                                        relaxed=True)
                 finally:
                     del self._inflight_puts[inflight_key]
                     done.succeed()

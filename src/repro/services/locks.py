@@ -77,12 +77,26 @@ class DistributedLockService:
 
     # -- transaction bodies -----------------------------------------------------
 
+    # Sanitizer note (repro.sansim): the lease is *cross-process* state —
+    # the acquire generator finishes long before the holder releases — so
+    # it cannot be modelled as a process-held lock (on_acquire/on_release
+    # track within-process critical sections). Instead the lock *state*
+    # key is a tracked location: reads join the previous holder's commit
+    # into the reader's clock, so the OCC read-modify-write cycle itself
+    # carries the happens-before edges and handoffs are never flagged.
+
     def _read_state(self, txn, name):
         value = yield self.client.txn_get(txn, self._key(name))
+        tracer = self.client.sim.tracer
+        if tracer is not None:
+            tracer.on_read(("dlock", name))
         return value if value is not None else dict(_FREE)
 
     def _acquire(self, name: str, owner: str):
         client = self.client
+        tracer = client.sim.tracer
+        if tracer is not None:
+            tracer.begin_section("lock-acquire", name)
         txn = client.begin()
         try:
             state = yield from self._read_state(txn, name)
@@ -102,11 +116,16 @@ class DistributedLockService:
         if outcome != COMMITTED:
             self.contentions += 1
             return None
+        if tracer is not None:
+            tracer.on_write(("dlock", name))
         self.acquisitions += 1
         return LockHandle(name=name, owner=owner, expires=expires)
 
     def _release(self, handle: LockHandle):
         client = self.client
+        tracer = client.sim.tracer
+        if tracer is not None:
+            tracer.begin_section("lock-release", handle.name)
         txn = client.begin()
         try:
             state = yield from self._read_state(txn, handle.name)
@@ -118,10 +137,15 @@ class DistributedLockService:
             return False
         client.put(txn, self._key(handle.name), dict(_FREE))
         outcome = yield client.commit(txn)
+        if outcome == COMMITTED and tracer is not None:
+            tracer.on_write(("dlock", handle.name))
         return outcome == COMMITTED
 
     def _renew(self, handle: LockHandle):
         client = self.client
+        tracer = client.sim.tracer
+        if tracer is not None:
+            tracer.begin_section("lock-renew", handle.name)
         txn = client.begin()
         try:
             state = yield from self._read_state(txn, handle.name)
@@ -137,6 +161,8 @@ class DistributedLockService:
         outcome = yield client.commit(txn)
         if outcome != COMMITTED:
             return None
+        if tracer is not None:
+            tracer.on_write(("dlock", handle.name))
         return LockHandle(name=handle.name, owner=handle.owner,
                           expires=expires)
 

@@ -52,6 +52,13 @@ class Simulator:
 
     __slots__ = ("_now", "_heap", "_seq", "events_processed")
 
+    #: Sanitizer seam (see :mod:`repro.sansim`): the traced subclass
+    #: carries a ``SanitizerRuntime`` here; on the base class this is a
+    #: plain class attribute, so instrumentation sites in the protocol
+    #: layers pay exactly one attribute load to observe ``None`` and the
+    #: hot loops below stay byte-identical to the PR 5 fast path.
+    tracer = None
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Tuple[float, int, Event]] = []

@@ -210,11 +210,18 @@ class _Condition(Event):
         if not self.events:
             self.succeed({})
             return
+        # Sanitizer seam: choose the child callback once, at construction.
+        # Plain simulators keep registering the bound ``_check`` exactly as
+        # before (one class-attribute load here, zero per-fire cost); a
+        # traced simulator routes through ``_traced_check`` so the
+        # happens-before engine can join every child's clock into the
+        # condition — AllOf would otherwise only inherit the last child's.
+        check = self._check if sim.tracer is None else self._traced_check
         for event in self.events:
             if event._processed:
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
     def _collect(self) -> dict:
         """Map each already-fired child event to its value, in order."""
@@ -226,6 +233,13 @@ class _Condition(Event):
 
     def _check(self, event: Event) -> None:
         raise NotImplementedError
+
+    def _traced_check(self, event: Event) -> None:
+        """Child callback used under a traced simulator (repro.sansim)."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.on_condition_child(self, event)
+        self._check(event)
 
 
 class AnyOf(_Condition):

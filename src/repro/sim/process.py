@@ -9,7 +9,10 @@ generator's return value, so processes can wait on each other.
 Hot-path note: :meth:`Process._resume` runs once per yield of every
 process in the system, so it reads event state through the underscored
 attributes and pushes onto the simulator heap directly, like the rest of
-the kernel (see events.py).
+the kernel (see events.py). ``repro.sansim`` carries a traced twin
+(``TracedProcess``) that duplicates this body with happens-before
+bookkeeping around it; keep the two in behavioural lockstep when
+changing the resume protocol.
 """
 
 from __future__ import annotations

@@ -1,0 +1,54 @@
+"""Fingerprint equivalence with the sanitizer enabled.
+
+The acceptance bar for the instrumentation seam is behavioural, not
+just perf: with the sanitizer off the production simulator is untouched
+(covered by ``test_fingerprints.py`` against the golden snapshot), and
+with the sanitizer ON under the default fifo tie-break the simulation
+must produce byte-identical outcomes — same schedule material, same
+golden fingerprints. Only non-default tie-break policies are allowed to
+perturb the schedule, and even then only among same-timestamp ties.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.fingerprint import fingerprint_material, schedule_fingerprint
+from repro.sansim import FifoTieBreak, SanitizerRuntime, TracedSimulator
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "fingerprints.json")
+
+#: figure6 sweeps clock skew inside the workload and builds its own
+#: simulators internally, so it does not accept a factory.
+FACTORY_KINDS = ("retwis", "ycsb")
+
+
+def _golden():
+    with open(FIXTURE, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _traced_factory():
+    return TracedSimulator(tracer=SanitizerRuntime(),
+                           tie_break=FifoTieBreak())
+
+
+class TestSanitizerOnFifoEquivalence:
+    @pytest.mark.parametrize("kind", FACTORY_KINDS)
+    def test_material_is_byte_identical(self, kind):
+        plain = fingerprint_material(kind)
+        traced = fingerprint_material(kind,
+                                      simulator_factory=_traced_factory)
+        assert traced == plain
+
+    @pytest.mark.parametrize("kind", FACTORY_KINDS)
+    def test_traced_fingerprint_matches_golden(self, kind):
+        traced = schedule_fingerprint(kind,
+                                      simulator_factory=_traced_factory)
+        assert traced == _golden()[kind]
+
+    def test_figure6_rejects_factory(self):
+        with pytest.raises(ValueError, match="figure6"):
+            fingerprint_material("figure6", simulator_factory=_traced_factory)
