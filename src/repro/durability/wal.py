@@ -1,0 +1,181 @@
+"""A simulated write-ahead log with explicit fsync points.
+
+Model: appends land in a volatile buffer instantly; an *fsync* charges
+``fsync_latency`` of simulated time and then marks the entry durable.
+An amnesia crash (:meth:`WriteAheadLog.crash`) drops the non-durable
+tail — exactly the bytes a real machine loses when it dies between a
+``write()`` and the ``fsync()`` that would have persisted it.
+
+Two append disciplines:
+
+* ``sync=True`` — the caller's process waits out the fsync before
+  proceeding, so anything it acknowledges afterwards is genuinely
+  durable (ack-after-fsync);
+* ``sync=False`` — the entry is appended and a background fsync is
+  scheduled, but the caller continues immediately (ack-before-fsync).
+  This is the deliberately unsafe mode the durability tests use as a
+  control: a whole-shard crash inside the fsync window loses records
+  the clients were already told about, and the post-heal audit must be
+  able to see that.
+
+Record kinds are deliberately few: SEMEL put/delete records and MILANA
+transaction records (stored as immutable
+:class:`~repro.wire.messages.TxnRecordWire` snapshots, so a WAL entry
+can never alias a mutable server-side record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+__all__ = [
+    "DurabilityConfig",
+    "WalRecord",
+    "WriteAheadLog",
+    "SEMEL_PUT",
+    "SEMEL_DELETE",
+    "TXN_RECORD",
+]
+
+SEMEL_PUT = "semel.put"
+SEMEL_DELETE = "semel.delete"
+TXN_RECORD = "txn"
+
+
+@dataclass
+class DurabilityConfig:
+    """Knobs for the per-server write-ahead logs.
+
+    The ``sync_*`` flags choose ack-after-fsync (True, the honest
+    default) vs ack-before-fsync (False, the lossy control) per record
+    class. Note that weakening *only* ``sync_decides`` cannot lose an
+    acked commit by itself: the durable prepare records carry the write
+    values, and both Algorithm 2's single-participant rule and CTP rule
+    4 (all participants prepared) re-derive the commit from them. The
+    demonstrably unsafe control weakens prepares and decides together.
+    """
+
+    #: Simulated time one fsync takes (NVMe-flush territory).
+    fsync_latency: float = 20e-6
+    #: Per-record cost of scanning the log on restart.
+    replay_latency: float = 2e-6
+    #: Wait for the fsync before a prepare vote is returned.
+    sync_prepares: bool = True
+    #: Wait for the fsync before a decide/commit is acknowledged.
+    sync_decides: bool = True
+    #: Wait for the fsync before a SEMEL put/delete/replicate ack.
+    sync_semel: bool = True
+
+
+@dataclass
+class WalRecord:
+    """One log entry: volatile until its fsync completes."""
+
+    lsn: int
+    kind: str
+    payload: Any
+    durable: bool = False
+    #: Set when an amnesia crash dropped this entry before its fsync.
+    lost: bool = False
+
+
+class WriteAheadLog:
+    """Per-server append-only log with crash-droppable volatile tail."""
+
+    def __init__(self, sim, owner: str, config: DurabilityConfig) -> None:
+        self.sim = sim
+        self.owner = owner
+        self.config = config
+        self._entries: List[WalRecord] = []
+        self._next_lsn = 0
+        self.appends = 0
+        self.fsyncs = 0
+        self.crashes = 0
+        self.records_lost = 0
+        self.replays = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- appending -----------------------------------------------------------
+
+    def _append(self, kind: str, payload: Any) -> WalRecord:
+        entry = WalRecord(self._next_lsn, kind, payload)
+        self._next_lsn += 1
+        self._entries.append(entry)
+        self.appends += 1
+        return entry
+
+    def append(self, kind: str, payload: Any, sync: bool = True):
+        """Generator: append one entry; with ``sync`` wait out its fsync.
+
+        With ``sync=False`` the generator yields nothing — the entry is
+        fsynced by a background process and the caller may acknowledge
+        state the next crash can still erase.
+        """
+        entry = self._append(kind, payload)
+        if sync:
+            yield self.sim.timeout(self.config.fsync_latency)
+            if not entry.lost:
+                entry.durable = True
+                self.fsyncs += 1
+        else:
+            self.sim.process(self._background_fsync(entry))
+        return entry
+
+    def _background_fsync(self, entry: WalRecord):
+        yield self.sim.timeout(self.config.fsync_latency)
+        if not entry.lost:
+            entry.durable = True
+            self.fsyncs += 1
+
+    def bootstrap(self, kind: str, payload: Any) -> WalRecord:
+        """Zero-time durable append, for pre-run population only."""
+        entry = self._append(kind, payload)
+        entry.durable = True
+        return entry
+
+    # -- typed helpers -------------------------------------------------------
+
+    def append_put(self, key: str, value: Any, version, sync: bool = True):
+        return self.append(SEMEL_PUT, (key, value, tuple(version)),
+                           sync=sync)
+
+    def append_delete(self, key: str, sync: bool = True):
+        return self.append(SEMEL_DELETE, (key,), sync=sync)
+
+    def append_txn(self, record, sync: bool = True):
+        """Append a transaction-record snapshot (status included, so a
+        decided record is a *new* entry; replay keeps the most-decided
+        status per transaction)."""
+        from ..wire import TxnRecordWire
+        return self.append(TXN_RECORD, TxnRecordWire.from_record(record),
+                           sync=sync)
+
+    def bootstrap_put(self, key: str, value: Any, version) -> WalRecord:
+        return self.bootstrap(SEMEL_PUT, (key, value, tuple(version)))
+
+    # -- crash / replay ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Amnesia: the volatile tail (appended, never fsynced) is gone."""
+        kept: List[WalRecord] = []
+        for entry in self._entries:
+            if entry.durable:
+                kept.append(entry)
+            else:
+                entry.lost = True
+                self.records_lost += 1
+        self._entries = kept
+        self.crashes += 1
+
+    def durable_records(self) -> List[WalRecord]:
+        """The replayable prefix (everything that survived)."""
+        return [entry for entry in self._entries if entry.durable]
+
+    def replay_delay(self, count: Optional[int] = None) -> float:
+        """Simulated time to scan ``count`` records on restart."""
+        if count is None:
+            count = len(self.durable_records())
+        return count * self.config.replay_latency

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from ..milana.transaction import PREPARED
+from ..milana.transaction import ABORTED, PREPARED
 from ..net.rpc import RpcError
 from ..sim.process import Process
 from ..verify import TxnEntry, check_serializability
@@ -56,6 +56,11 @@ class AuditReport:
     lost_writes: List[Tuple[str, str, tuple]] = field(default_factory=list)
     #: (server, txn_id) records still PREPARED on a primary.
     stuck_prepared: List[Tuple[str, str]] = field(default_factory=list)
+    #: (server, txn_id) transactions a client was told COMMITTED whose
+    #: record a participant primary now holds as ABORTED — the classic
+    #: amnesia-crash atomicity violation (recovery mis-resolved a
+    #: transaction whose commit was already acknowledged).
+    acked_aborted: List[Tuple[str, str]] = field(default_factory=list)
     #: (replica, key, detail) replicas disagreeing on a key's newest
     #: version after the repair pass.
     divergent: List[Tuple[str, str, str]] = field(default_factory=list)
@@ -63,7 +68,8 @@ class AuditReport:
     @property
     def passed(self) -> bool:
         return (self.serializable and not self.lost_writes
-                and not self.stuck_prepared and not self.divergent)
+                and not self.stuck_prepared and not self.acked_aborted
+                and not self.divergent)
 
     def summary(self) -> str:
         lines = [
@@ -74,12 +80,15 @@ class AuditReport:
             + (f" (witness: {self.witness})" if self.witness else ""),
             f"  lost writes         {len(self.lost_writes)}",
             f"  stuck PREPARED      {len(self.stuck_prepared)}",
+            f"  acked-but-aborted   {len(self.acked_aborted)}",
             f"  divergent replicas  {len(self.divergent)}",
         ]
         for txn_id, key, version in self.lost_writes[:5]:
             lines.append(f"    lost: {txn_id} {key!r} {version}")
         for server, txn_id in self.stuck_prepared[:5]:
             lines.append(f"    stuck: {txn_id} on {server}")
+        for server, txn_id in self.acked_aborted[:5]:
+            lines.append(f"    acked-aborted: {txn_id} on {server}")
         for replica, key, detail in self.divergent[:5]:
             lines.append(f"    diverged: {key!r} on {replica}: {detail}")
         return "\n".join(lines)
@@ -158,6 +167,16 @@ def run_audit(cluster: Cluster) -> AuditReport:
             if server.txn_table[txn_id].status == PREPARED:
                 stuck.append((server.name, txn_id))
 
+    acked_aborted: List[Tuple[str, str]] = []
+    for entry in history:
+        shards = sorted({cluster.directory.shard_of(key).name
+                         for key in entry.writes})
+        for shard_name in shards:
+            server = cluster.primary_server(shard_name)
+            record = server.txn_table.get(entry.txn_id)
+            if record is not None and record.status == ABORTED:
+                acked_aborted.append((server.name, entry.txn_id))
+
     divergent: List[Tuple[str, str, str]] = []
     for key in sorted(audited_keys):
         shard = cluster.directory.shard_of(key)
@@ -185,5 +204,6 @@ def run_audit(cluster: Cluster) -> AuditReport:
         checked_writes=checked,
         lost_writes=lost,
         stuck_prepared=stuck,
+        acked_aborted=acked_aborted,
         divergent=divergent,
     )

@@ -5,7 +5,9 @@ chaos schedule keeps it honest. Three tools:
 
 * :class:`FailurePlan` — a deterministic script of (time, action, node)
   events: ``crash`` / ``recover`` at exact simulated instants, for
-  reproducible failure scenarios in tests and examples.
+  reproducible failure scenarios in tests and examples. Its failures
+  are link-level pauses (the node's memory survives); use
+  :meth:`NemesisPlan.crash` for amnesia crashes.
 * :class:`NemesisPlan` — the full fault DSL: partitions (symmetric and
   asymmetric), probabilistic link loss, latency spikes, clock anomalies
   (steps, drift, spike storms) and crashes, all scheduled at exact
@@ -45,7 +47,7 @@ __all__ = [
 
 
 class FailurePlan:
-    """A deterministic script of crash/recover events."""
+    """A deterministic script of pause/unpause (link-cut) events."""
 
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
@@ -70,9 +72,9 @@ class FailurePlan:
             if at > sim.now:
                 yield sim.timeout(at - sim.now)
             if action == "crash":
-                self.cluster.fail_server(node)
+                self.cluster.pause_server(node)
             else:
-                self.cluster.recover_server(node)
+                self.cluster.unpause_server(node)
             self.executed.append((sim.now, action, node))
 
 
@@ -95,6 +97,9 @@ class NemesisPlan:
         self._events: List[Tuple[float, int, str, Callable[[], None]]] = []
         #: (time, description) of every fault event that has fired.
         self.timeline: List[Tuple[float, str]] = []
+        #: Restart Processes spawned by :meth:`restart`/:meth:`recover`,
+        #: so a driver can wait for the recovery protocols to finish.
+        self.restarts: List[Process] = []
 
     # -- generic scheduling -------------------------------------------------
 
@@ -165,13 +170,45 @@ class NemesisPlan:
 
     # -- crashes ------------------------------------------------------------
 
-    def crash(self, at: float, node: str) -> "NemesisPlan":
-        return self.at(at, f"crash {node}",
-                       lambda: self.cluster.fail_server(node))
+    def pause(self, at: float, node: str) -> "NemesisPlan":
+        """Cut ``node``'s links; its volatile state survives."""
+        return self.at(at, f"pause {node}",
+                       lambda: self.cluster.pause_server(node))
+
+    def unpause(self, at: float, node: str) -> "NemesisPlan":
+        return self.at(at, f"unpause {node}",
+                       lambda: self.cluster.unpause_server(node))
+
+    def crash(self, at: float, node: str,
+              amnesia: bool = True) -> "NemesisPlan":
+        """Fail-stop ``node``. Amnesia (the default) wipes its volatile
+        state — it only comes back via :meth:`restart`; ``amnesia=False``
+        degrades to :meth:`pause`."""
+        label = f"crash {node}" if amnesia else f"pause {node}"
+        return self.at(
+            at, label,
+            lambda: self.cluster.crash_server(node, amnesia=amnesia))
+
+    def restart(self, at: float, node: str) -> "NemesisPlan":
+        """Begin an amnesia-crashed node's restart protocol. The spawned
+        restart Process is appended to :attr:`restarts` so drivers can
+        wait for recovery to actually finish."""
+        def action() -> None:
+            self.restarts.append(self.cluster.restart_server(node))
+        return self.at(at, f"restart {node}", action)
 
     def recover(self, at: float, node: str) -> "NemesisPlan":
-        return self.at(at, f"recover {node}",
-                       lambda: self.cluster.recover_server(node))
+        """State-routed recovery: unpause a paused node, restart a
+        crashed one, leave an already-recovering or healthy node alone.
+        For scripts that do not care which failure hit the node."""
+        def action() -> None:
+            state = self.cluster.server_state(node)
+            if state == "paused":
+                self.cluster.unpause_server(node)
+            elif state == "crashed":
+                self.restarts.append(self.cluster.restart_server(node))
+            # "recovering" and "up" need nothing.
+        return self.at(at, f"recover {node}", action)
 
     # -- clock anomalies ----------------------------------------------------
 
@@ -363,7 +400,14 @@ def largest_connected_majority(network: Network,
 
 
 class ChaosMonkey:
-    """Randomized rolling backup failures that never break quorums."""
+    """Randomized rolling backup failures that never break quorums.
+
+    ``amnesia=False`` (default) pauses victims and unpauses them after
+    ``downtime`` — the historical behaviour. ``amnesia=True`` crashes
+    them for real: volatile state wiped, revival via the full restart
+    protocol (WAL replay + catch-up), which the monkey waits out before
+    counting the node as back.
+    """
 
     def __init__(
         self,
@@ -372,6 +416,7 @@ class ChaosMonkey:
         interval: float = 50e-3,
         downtime: float = 30e-3,
         include_primaries: bool = False,
+        amnesia: bool = False,
     ) -> None:
         if downtime >= interval:
             raise ValueError(
@@ -382,6 +427,7 @@ class ChaosMonkey:
         self.interval = interval
         self.downtime = downtime
         self.include_primaries = include_primaries
+        self.amnesia = amnesia
         self.kills: List[Tuple[float, str]] = []
         self._down: set = set()
         self._daemon: Optional[Process] = None
@@ -400,7 +446,9 @@ class ChaosMonkey:
         Counting non-crashed replicas is not enough once link faults
         exist: a replica on the wrong side of a partition cannot ack
         replication, so only the largest mutually communicating
-        component counts toward the majority.
+        component counts toward the majority. Likewise a paused,
+        amnesia-crashed, or still-recovering replica
+        (``Cluster.is_serving``) contributes nothing.
         """
         directory = self.cluster.directory
         network = self.cluster.network
@@ -411,6 +459,7 @@ class ChaosMonkey:
             alive = [
                 replica for replica in shard.replicas
                 if replica != node and replica not in self._down
+                and self.cluster.is_serving(replica)
                 and not network.is_crashed(replica)
             ]
             if largest_connected_majority(network, alive) \
@@ -424,6 +473,8 @@ class ChaosMonkey:
         nodes = []
         for node in directory.all_servers():
             if node in self._down:
+                continue
+            if not self.cluster.is_serving(node):
                 continue
             if not self.include_primaries and node in primaries:
                 continue
@@ -442,11 +493,20 @@ class ChaosMonkey:
                 continue
             victim = self.rng.choice(list(candidates))
             self._down.add(victim)
-            self.cluster.fail_server(victim)
+            if self.amnesia:
+                self.cluster.crash_server(victim)
+            else:
+                self.cluster.pause_server(victim)
             self.kills.append((sim.now, victim))
             sim.process(self._revive(victim))
 
     def _revive(self, node: str):
         yield self.cluster.sim.timeout(self.downtime)
-        self.cluster.recover_server(node)
+        if self.amnesia:
+            # Down until the restart protocol actually finishes — an
+            # amnesia-crashed node with an empty store is not a quorum
+            # member just because its links are back.
+            yield self.cluster.restart_server(node)
+        else:
+            self.cluster.unpause_server(node)
         self._down.discard(node)

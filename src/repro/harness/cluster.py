@@ -14,16 +14,19 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..clocks import ClockEnsemble
+from ..durability import DurabilityConfig, WriteAheadLog
 from ..flash.device import FlashDevice
 from ..flash.geometry import FlashGeometry, FlashTiming
 from ..ftl import DRAMBackend, MFTLBackend, VFTLBackend
 from ..ftl.packing import DEFAULT_PACKING_DELAY
 from ..milana.client import MilanaClient
+from ..milana.recovery import RecoveryError, recover_steps
 from ..milana.server import MilanaServer
 from ..net.latency import JitteredLatency
 from ..net.network import Network
 from ..semel.sharding import Directory
 from ..sim.core import Simulator
+from ..sim.process import Process
 from ..sim.rng import SeededRng
 from ..versioning import Version
 
@@ -73,6 +76,11 @@ class ClusterConfig:
     #: of the flat latency model.
     rack_aware: bool = False
     num_racks: int = 3
+    #: Attach a per-server write-ahead log. None (the default) leaves
+    #: ``server.wal`` as the class-level None, so existing experiments'
+    #: schedules are byte-identical. With a config, amnesia crashes
+    #: (:meth:`Cluster.crash_server`) become survivable via WAL replay.
+    durability: Optional[DurabilityConfig] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_KINDS:
@@ -139,12 +147,17 @@ class Cluster:
         self.devices: Dict[str, FlashDevice] = {}
         keys_per_shard = (config.populate_keys // config.num_shards
                           if config.num_shards else 0)
+        self._keys_per_shard = keys_per_shard
         for shard_name, replica_names in shards.items():
             for server_name in replica_names:
                 backend = self._make_backend(server_name, keys_per_shard)
-                self.servers[server_name] = MilanaServer(
+                server = MilanaServer(
                     self.sim, self.network, self.directory, server_name,
                     shard_name, backend, ctp_timeout=config.ctp_timeout)
+                if config.durability is not None:
+                    server.wal = WriteAheadLog(self.sim, server_name,
+                                               config.durability)
+                self.servers[server_name] = server
         factory = config.client_factory or self._default_client_factory
         self.clients: List[MilanaClient] = [
             factory(self.sim, self.network, self.directory,
@@ -154,6 +167,7 @@ class Cluster:
         ]
         self.master = None
         self.heartbeats = []
+        self._heartbeat_by_server: Dict[str, Any] = {}
         if config.with_master:
             from ..semel.master import HeartbeatReporter, Master
             self.master = Master(self.sim, self.network, self.directory,
@@ -163,6 +177,12 @@ class Cluster:
                 reporter = HeartbeatReporter(server)
                 reporter.start()
                 self.heartbeats.append(reporter)
+                self._heartbeat_by_server[server.name] = reporter
+        #: Failure-injection bookkeeping: names currently link-paused,
+        #: amnesia-crashed, and mid-restart (name -> restart Process).
+        self._paused: set = set()
+        self._amnesia_crashed: set = set()
+        self._restarting: Dict[str, Process] = {}
         self.populated_keys: List[str] = []
         if config.populate_keys:
             self.populate(config.populate_keys)
@@ -212,18 +232,141 @@ class Cluster:
             for replica in shard.replicas:
                 per_server[replica].append(item)
         for server_name, items in per_server.items():
-            self.servers[server_name].backend.bulk_load(items)
+            server = self.servers[server_name]
+            server.backend.bulk_load(items)
+            if server.wal is not None:
+                # Pre-loaded data is durable by definition (it "was
+                # already on disk"), at zero simulated cost.
+                for key, value, item_version in items:
+                    server.wal.bootstrap_put(key, value, item_version)
         self.populated_keys = keys
         return keys
 
     # -- failure injection ------------------------------------------------------------
 
-    def fail_server(self, name: str) -> None:
-        """Fail-stop a server at the network level."""
+    #: Backoff between restart-protocol retries (majority not yet up, or
+    #: the primary unreachable for a backup catch-up).
+    RESTART_RETRY_DELAY = 20e-3
+
+    def pause_server(self, name: str) -> None:
+        """Cut a server's links. Its memory, timers, and in-flight
+        handlers survive; :meth:`unpause_server` restores it verbatim.
+        This is the old ``fail_server`` behaviour, now honestly named."""
+        if name in self._amnesia_crashed or name in self._restarting:
+            raise RuntimeError(
+                f"{name} is amnesia-crashed; restart_server() it instead "
+                f"of pausing")
+        self._paused.add(name)
         self.network.crash(name)
 
-    def recover_server(self, name: str) -> None:
+    def unpause_server(self, name: str) -> None:
+        """Reconnect a paused server, volatile state intact."""
+        if name in self._amnesia_crashed or name in self._restarting:
+            raise RuntimeError(
+                f"{name} was amnesia-crashed, not paused; its memory is "
+                f"gone — use restart_server() to replay the WAL")
+        self._paused.discard(name)
         self.network.recover(name)
+
+    #: Historical name: ``fail_server`` always only cut links.
+    fail_server = pause_server
+
+    def recover_server(self, name: str) -> None:
+        """Removed: silently resurrecting a 'failed' server with all its
+        volatile state intact made every crash test a lie."""
+        raise RuntimeError(
+            "Cluster.recover_server() no longer exists: it resurrected "
+            "the server's memory, timers, and in-flight handlers as if "
+            "the failure never happened. Use unpause_server() to undo a "
+            "pause_server()/fail_server() link cut, or restart_server() "
+            "to bring an amnesia-crashed server back through WAL replay "
+            "and the recovery protocol.")
+
+    def crash_server(self, name: str, amnesia: bool = True) -> None:
+        """Fail-stop ``name``. With ``amnesia`` (the default) this is a
+        real crash: links cut, every in-flight handler and daemon
+        killed, volatile state wiped — only the WAL's durable prefix
+        survives, and only :meth:`restart_server` brings it back.
+        ``amnesia=False`` degrades to :meth:`pause_server`."""
+        if not amnesia:
+            self.pause_server(name)
+            return
+        # A second crash mid-restart kills the restart protocol too.
+        proc = self._restarting.pop(name, None)
+        if proc is not None and proc.is_alive:
+            proc.interrupt("crash")
+        self._paused.discard(name)
+        self._amnesia_crashed.add(name)
+        self.network.crash(name)
+        self.servers[name].crash()
+        reporter = self._heartbeat_by_server.get(name)
+        if reporter is not None:
+            reporter.crash()
+
+    def restart_server(self, name: str) -> Process:
+        """Bring an amnesia-crashed server back. Returns the restart
+        Process: fresh backend, WAL replay, then the role-appropriate
+        rejoin (Algorithm 2 merge + lease wait for a primary, catch-up
+        pull for a backup), retried until the shard cooperates."""
+        if name not in self._amnesia_crashed:
+            if name in self._paused:
+                raise RuntimeError(
+                    f"{name} is paused, not crashed; unpause_server() "
+                    f"reconnects it with its state intact")
+            raise RuntimeError(f"{name} is not crashed")
+        if name in self._restarting:
+            raise RuntimeError(f"{name} is already restarting")
+        proc = self.sim.process(self._restart_protocol(name))
+        self._restarting[name] = proc
+        return proc
+
+    def _restart_protocol(self, name: str):
+        server = self.servers[name]
+        backend = self._make_backend(name, self._keys_per_shard)
+        server.restart(backend)
+        self.network.recover(name)
+        yield from server.replay_wal()
+        while True:
+            if server.is_primary:
+                try:
+                    yield from recover_steps(server)
+                    break
+                except RecoveryError:
+                    # Majority unreachable (e.g. the rest of the shard
+                    # is also down); wait for more replicas.
+                    yield self.sim.timeout(self.RESTART_RETRY_DELAY)
+            else:
+                caught_up = yield from server.catch_up_from_primary()
+                if caught_up:
+                    break
+                yield self.sim.timeout(self.RESTART_RETRY_DELAY)
+        reporter = self._heartbeat_by_server.get(name)
+        if reporter is not None:
+            reporter.restart()
+        # Bookkeeping last: a crash interrupt anywhere above leaves the
+        # server in _crashed, which is exactly right.
+        self._amnesia_crashed.discard(name)
+        self._restarting.pop(name, None)
+
+    def server_state(self, name: str) -> str:
+        """``up`` | ``paused`` | ``crashed`` | ``recovering``."""
+        if name in self._restarting:
+            return "recovering"
+        if name in self._amnesia_crashed:
+            return "crashed"
+        if name in self._paused:
+            return "paused"
+        return "up"
+
+    def is_serving(self, name: str) -> bool:
+        """True when the replica is up and participating (a paused,
+        crashed, or mid-restart node cannot contribute to quorums)."""
+        return self.server_state(name) == "up"
+
+    def pending_restarts(self) -> List[Process]:
+        """Restart protocols still in flight (for drains/settling)."""
+        return [proc for proc in self._restarting.values()
+                if proc.is_alive]
 
     def primary_server(self, shard_name: str) -> MilanaServer:
         return self.servers[self.directory.shard(shard_name).primary]

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..durability import DurabilityConfig
 from ..milana.client import MilanaClient
 from ..milana.leases import DEFAULT_LEASE_DURATION
 from ..milana.server import DEFAULT_CTP_TIMEOUT
@@ -92,6 +93,74 @@ def _combo(cluster, rng, start, duration):
     return plan
 
 
+def _crash_restart(cluster, rng, start, duration):
+    """Amnesia-crash shard0's primary mid-workload (prepares will be in
+    flight), restart it later in the window: WAL replay + Algorithm 2
+    must reconstruct every acked transaction."""
+    primary = cluster.directory.shard("shard0").primary
+    plan = NemesisPlan(cluster, name="crash-restart")
+    plan.crash(start, primary)
+    plan.restart(start + duration * 0.5, primary)
+    return plan
+
+
+def _coordinator_crash(cluster, rng, start, duration):
+    """Silence a coordinator client mid-run: transactions it prepared
+    but never decided go in-doubt, and CTP must terminate them."""
+    victim = "milana-client-1"
+    plan = NemesisPlan(cluster, name="coordinator-crash")
+    plan.at(start, f"crash coordinator {victim}",
+            lambda: cluster.network.crash(victim))
+    plan.at(start + duration, f"recover coordinator {victim}",
+            lambda: cluster.network.recover(victim))
+    return plan
+
+
+def _rolling_restart(cluster, rng, start, duration):
+    """Crash-and-restart every backup, one per shard at a time,
+    interleaved across shards so no shard ever loses its majority."""
+    plan = NemesisPlan(cluster, name="rolling-restart")
+    per_shard = []
+    for shard_name in sorted(cluster.directory.shard_names):
+        shard = cluster.directory.shard(shard_name)
+        per_shard.append([replica for replica in shard.replicas
+                          if replica != shard.primary])
+    order = [node for wave in zip(*per_shard) for node in wave]
+    step = duration / max(1, len(order))
+    for index, node in enumerate(order):
+        at = start + index * step
+        plan.crash(at, node)
+        plan.restart(at + step * 0.5, node)
+    return plan
+
+
+def _crash_during_recovery(cluster, rng, start, duration):
+    """Double fault: the restarted primary is crashed again while its
+    recovery (replay / merge / lease wait) is still running, then
+    restarted once more."""
+    primary = cluster.directory.shard("shard0").primary
+    plan = NemesisPlan(cluster, name="crash-during-recovery")
+    plan.crash(start, primary)
+    plan.restart(start + duration * 0.2, primary)
+    # Recovery includes a full lease wait, so this lands mid-recovery.
+    plan.crash(start + duration * 0.4, primary)
+    plan.restart(start + duration * 0.6, primary)
+    return plan
+
+
+def _crash_partition(cluster, rng, start, duration):
+    """An amnesia crash in shard0 overlapping a partition in shard1:
+    recovery must proceed while the other shard is degraded (the CTP
+    cross-shard queries see both failure modes at once)."""
+    primary0 = cluster.directory.shard("shard0").primary
+    plan = NemesisPlan(cluster, name="crash-partition")
+    plan.crash(start, primary0)
+    partition_primary_from_backups(
+        cluster, "shard1", start, duration * 0.7, plan=plan)
+    plan.restart(start + duration * 0.5, primary0)
+    return plan
+
+
 #: Scenario name -> plan builder. Keys are the CLI's choices.
 SCENARIOS: Dict[str, ScenarioBuilder] = {
     "partition": _partition,
@@ -101,6 +170,11 @@ SCENARIOS: Dict[str, ScenarioBuilder] = {
     "clock-storm": _clock_storm,
     "loss-storm": _loss_storm,
     "combo": _combo,
+    "crash-restart": _crash_restart,
+    "coordinator-crash": _coordinator_crash,
+    "rolling-restart": _rolling_restart,
+    "crash-during-recovery": _crash_during_recovery,
+    "crash-partition": _crash_partition,
 }
 
 
@@ -158,7 +232,8 @@ def _history_client_factory(sim, network, directory, clock, client_id,
 
 def nemesis_config(**overrides) -> ClusterConfig:
     """The default nemesis deployment: 2 shards x 3 replicas, 4 clients,
-    DRAM backend, CTP daemon on, history-recording clients."""
+    DRAM backend, CTP daemon on, history-recording clients, and durable
+    per-server WALs (so amnesia-crash scenarios are survivable)."""
     defaults = dict(
         num_shards=2,
         replicas_per_shard=3,
@@ -169,28 +244,55 @@ def nemesis_config(**overrides) -> ClusterConfig:
         populate_keys=400,
         ctp_timeout=DEFAULT_CTP_TIMEOUT,
         client_factory=_history_client_factory,
+        durability=DurabilityConfig(),
     )
     defaults.update(overrides)
     return ClusterConfig(**defaults)
 
 
-def _heal_everything(cluster: Cluster, plan: NemesisPlan) -> None:
-    """Clear every outstanding fault, whatever the plan left behind."""
+def _heal_everything(cluster: Cluster, plan: NemesisPlan) -> List:
+    """Clear every outstanding fault, whatever the plan left behind.
+
+    Returns the restart Processes it spawned for still-crashed servers
+    (plus any the plan left in flight): the caller must wait these out
+    before auditing — an amnesia-crashed server is not healed until its
+    WAL replay and rejoin protocol actually finish.
+    """
     sim = cluster.sim
     faults = cluster.network.faults
     if faults is not None and faults.active:
         faults.heal()
         plan.timeline.append((sim.now, "post-run heal: link faults"))
+    restarts = [proc for proc in plan.restarts if proc.is_alive]
+    restarts.extend(cluster.pending_restarts())
     for name in sorted(cluster.servers):
-        if cluster.network.is_crashed(name):
-            cluster.recover_server(name)
-            plan.timeline.append((sim.now, f"post-run heal: recover {name}"))
+        state = cluster.server_state(name)
+        if state == "paused":
+            cluster.unpause_server(name)
+            plan.timeline.append(
+                (sim.now, f"post-run heal: unpause {name}"))
+        elif state == "crashed":
+            restarts.append(cluster.restart_server(name))
+            plan.timeline.append(
+                (sim.now, f"post-run heal: restart {name}"))
+        elif state == "up" and cluster.network.is_crashed(name):
+            # Link-cut outside the cluster's bookkeeping (a plan acting
+            # on the network directly): reconnect it.
+            cluster.network.recover(name)
+            plan.timeline.append(
+                (sim.now, f"post-run heal: reconnect {name}"))
     for i in range(cluster.config.num_clients):
+        client_node = f"milana-client-{i + 1}"
+        if cluster.network.is_crashed(client_node):
+            cluster.network.recover(client_node)
+            plan.timeline.append(
+                (sim.now, f"post-run heal: reconnect {client_node}"))
         clock = cluster.clock_ensemble.clock_for(f"client-{i}")
         if getattr(clock, "faulted", False):
             clock.clear()
             plan.timeline.append(
                 (sim.now, f"post-run heal: clear clock client-{i}"))
+    return restarts
 
 
 def run_nemesis(
@@ -257,10 +359,17 @@ def run_nemesis(
     before = snapshot(sim.now, cluster.clients, cluster.network)
     procs = [instance.run(duration) for instance in instances]
     sim.run(until=base + max(duration, plan.end_time + 1e-6))
-    _heal_everything(cluster, plan)
+    restarts = _heal_everything(cluster, plan)
     for proc in procs:
         sim.run_until_event(proc)
     after = snapshot(sim.now, cluster.clients, cluster.network)
+
+    # Every restart protocol must finish before the audit: a node that
+    # never completed WAL replay + rejoin is a dead replica, not a
+    # healed one. (All faults are gone, so these cannot be interrupted.)
+    for proc in restarts:
+        if proc.is_alive:
+            sim.run_until_event(proc)
 
     sim.run(until=sim.now + settle)
     records_synced = sim.run_until_event(sync_replicas(cluster))

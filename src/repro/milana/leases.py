@@ -83,3 +83,17 @@ class LeaseManager:
             if self.server.is_primary:
                 yield from self.renew_once()
             yield self.server.sim.timeout(self.interval)
+
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the renew loop and forget the lease (it lived in DRAM)."""
+        if self._daemon is not None and self._daemon.is_alive:
+            self._daemon.interrupt("crash")
+        self._daemon = None
+        self.lease_expiry = float("-inf")
+
+    def restart(self) -> None:
+        """Resume renewals after a restart; the lease itself must be
+        re-earned from the backups."""
+        self.start()

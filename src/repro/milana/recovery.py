@@ -31,12 +31,13 @@ from ..wire import (
 )
 from .leases import DEFAULT_LEASE_DURATION
 from .server import MilanaServer
-from .transaction import ABORTED, COMMITTED, PREPARED, UNKNOWN, \
-    TransactionRecord
+from .transaction import ABORTED, COMMITTED, PREPARED, STATUS_RANK, \
+    UNKNOWN, TransactionRecord
 
-__all__ = ["RecoveryError", "recover_primary", "merge_records"]
+__all__ = ["RecoveryError", "recover_primary", "recover_steps",
+           "merge_records"]
 
-_STATUS_RANK = {PREPARED: 0, ABORTED: 1, COMMITTED: 2}
+_STATUS_RANK = STATUS_RANK
 
 
 class RecoveryError(Exception):
@@ -73,6 +74,17 @@ def recover_primary(
     The returned process fires once the server is serving.
     """
     return server.sim.process(_recover(server, lease_wait))
+
+
+def recover_steps(
+    server: MilanaServer,
+    lease_wait: float = DEFAULT_LEASE_DURATION,
+):
+    """Generator form of :func:`recover_primary`, for callers that drive
+    recovery from their own process — the cluster restart protocol uses
+    this so a second crash can interrupt the whole recovery in one
+    place."""
+    return _recover(server, lease_wait)
 
 
 def _recover(server: MilanaServer, lease_wait: float):

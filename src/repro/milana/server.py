@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from ..durability.wal import SEMEL_DELETE, SEMEL_PUT, TXN_RECORD
 from ..ftl.base import KVBackend
 from ..net.network import Network
 from ..net.rpc import AppError, RpcError
@@ -42,8 +43,11 @@ from ..semel.replication import QuorumError, replicate_to_backups
 from ..semel.server import StorageServer
 from ..semel.sharding import Directory
 from ..sim.core import Simulator
+from ..versioning import Version
 from ..wire import (
     Ack,
+    MilanaCatchup,
+    MilanaCatchupReply,
     MilanaDecide,
     MilanaDecideReply,
     MilanaFetchLog,
@@ -61,8 +65,8 @@ from ..wire import (
     MilanaTxnStatusReply,
     TxnRecordWire,
 )
-from .transaction import ABORTED, COMMITTED, PREPARED, UNKNOWN, \
-    TransactionRecord
+from .transaction import ABORTED, COMMITTED, PREPARED, STATUS_RANK, \
+    UNKNOWN, TransactionRecord
 from .validation import KeyStateTable, validate
 
 __all__ = ["MilanaServer", "DEFAULT_CTP_TIMEOUT"]
@@ -107,9 +111,10 @@ class MilanaServer(StorageServer):
         #: is quorum-durable) or double-applying writes (decide).
         self._inflight_txn_ops: Dict[str, Any] = {}
         self._register_milana_handlers()
-        if ctp_timeout is not None:
-            self.ctp_timeout = ctp_timeout
-            sim.process(self._ctp_daemon())
+        self.ctp_timeout = ctp_timeout
+        #: The CTP daemon's process, kept so an amnesia crash can kill it.
+        self._ctp_proc = (sim.process(self._ctp_daemon())
+                          if ctp_timeout is not None else None)
 
     # -- registration -------------------------------------------------------
 
@@ -124,6 +129,7 @@ class MilanaServer(StorageServer):
         self.node.register("milana.renew_lease", self._handle_renew_lease)
         self.node.register("milana.get_unvalidated",
                            self._handle_get_unvalidated)
+        self.node.register("milana.catchup", self._handle_catchup)
 
     def _require_serving(self) -> None:
         self._require_primary()
@@ -229,6 +235,11 @@ class MilanaServer(StorageServer):
             self.txn_table[record.txn_id] = record
             if tracer is not None:
                 tracer.on_write(("txn", self.name, record.txn_id))
+            if self.wal is not None:
+                # An ABORT vote claims no durability; log in the
+                # background (no yield here: the vote must follow the
+                # validation verdict without an interleaving point).
+                self.sim.process(self.wal.append_txn(record, sync=False))
             return MilanaPrepareReply(vote="ABORT", reason=result.reason)
         record.status = PREPARED
         record.prepared_at = self.sim.now
@@ -245,6 +256,11 @@ class MilanaServer(StorageServer):
         if tracer is not None:
             tracer.on_acquire(("inflight", self.name, record.txn_id))
         try:
+            if self.wal is not None:
+                # The SUCCESS vote below asserts this prepare record
+                # survives this node's crash: fsync before voting.
+                yield from self.wal.append_txn(
+                    record, sync=self.wal.config.sync_prepares)
             yield from self._replicate_txn_record(record)
         except QuorumError as exc:
             # The prepare record is not quorum-durable, so a SUCCESS
@@ -252,9 +268,13 @@ class MilanaServer(StorageServer):
             # coordinator cannot reconstruct. No SUCCESS was ever sent,
             # so aborting locally and voting ABORT is always safe.
             self._apply_abort(record)
+            if self.wal is not None:
+                yield from self.wal.append_txn(record, sync=False)
             return MilanaPrepareReply(vote="ABORT", reason=str(exc))
         finally:
-            del self._inflight_txn_ops[record.txn_id]
+            # pop, not del: a crash-kill interrupt lands here after the
+            # volatile tables were replaced, so the key may be gone.
+            self._inflight_txn_ops.pop(record.txn_id, None)
             if tracer is not None:
                 tracer.on_release(("inflight", self.name, record.txn_id))
             done.succeed()
@@ -295,6 +315,9 @@ class MilanaServer(StorageServer):
                 yield from self._apply_commit(record)
             else:
                 self._apply_abort(record)
+                if self.wal is not None:
+                    yield from self.wal.append_txn(
+                        record, sync=self.wal.config.sync_decides)
                 yield from self._replicate_txn_record(record)
         except QuorumError as exc:
             # Not an RpcError, so it would otherwise escape as an opaque
@@ -305,7 +328,7 @@ class MilanaServer(StorageServer):
                 f"decide for {request.txn_id} not quorum-durable: "
                 f"{exc}") from exc
         finally:
-            del self._inflight_txn_ops[request.txn_id]
+            self._inflight_txn_ops.pop(request.txn_id, None)
             if tracer is not None:
                 tracer.on_release(("inflight", self.name, request.txn_id))
             done.succeed()
@@ -346,6 +369,11 @@ class MilanaServer(StorageServer):
                             exclusive=True)
         if puts:
             yield self.sim.all_of(puts)
+        if self.wal is not None:
+            # The "quorum-durable" claim of the decide ack starts with
+            # this primary's own log entry: fsync before acknowledging.
+            yield from self.wal.append_txn(
+                record, sync=self.wal.config.sync_decides)
         yield from self._replicate_txn_record(record)
 
     def _apply_abort(self, record: TransactionRecord) -> None:
@@ -390,6 +418,13 @@ class MilanaServer(StorageServer):
         self.txn_table[record.txn_id] = record
         if tracer is not None:
             tracer.on_write(("txn", self.name, record.txn_id))
+        if self.wal is not None:
+            # This Ack is the backup's contribution to the primary's
+            # durability quorum: the record must survive our own crash.
+            sync = (self.wal.config.sync_prepares
+                    if record.status == PREPARED
+                    else self.wal.config.sync_decides)
+            yield from self.wal.append_txn(record, sync=sync)
         if record.status == COMMITTED:
             version = record.commit_version_of
             for key, value in record.writes:
@@ -419,6 +454,154 @@ class MilanaServer(StorageServer):
         return MilanaFetchLogReply(records=tuple(
             TxnRecordWire.from_record(record)
             for record in self.txn_table.values()))
+
+    # -- crash / restart (amnesia fail-stop) -------------------------------
+
+    def crash(self) -> None:
+        """Amnesia: kill the node's processes (including the CTP daemon
+        and lease renewals) and wipe every volatile table. Only the
+        WAL's durable prefix survives to :meth:`replay_wal`."""
+        super().crash()
+        if self._ctp_proc is not None and self._ctp_proc.is_alive:
+            self._ctp_proc.interrupt("crash")
+        self._ctp_proc = None
+        self.txn_table = {}
+        self.key_states = KeyStateTable()
+        # Nothing serves until recovery says so (primaries re-enter via
+        # Algorithm 2; backups never consult serving_after).
+        self.serving_after = float("inf")
+        self.granted_leases = {}
+        self._inflight_txn_ops = {}
+        if self.lease_manager is not None:
+            self.lease_manager.crash()
+
+    def restart(self, backend: KVBackend) -> None:
+        super().restart(backend)
+        if self.ctp_timeout is not None:
+            self._ctp_proc = self.sim.process(self._ctp_daemon())
+        if self.lease_manager is not None:
+            self.lease_manager.restart()
+
+    def replay_wal(self):
+        """Generator: rebuild the store and transaction table from the
+        durable WAL prefix.
+
+        Charges ``replay_latency`` per record, then bulk-applies:
+        SEMEL put/delete records rebuild the versioned store; txn
+        records rebuild the table keeping the most-decided status per
+        transaction (a decided entry is always appended after the
+        prepared one), and committed records' writes are re-applied at
+        their commit versions — the write values ride in the prepare
+        records, which is what makes Algorithm 2's merge workable.
+        """
+        wal = self.wal
+        if wal is None:
+            return
+        entries = wal.durable_records()
+        wal.replays += 1
+        delay = wal.replay_delay(len(entries))
+        if delay > 0.0:
+            yield self.sim.timeout(delay)
+        puts: Dict[tuple, tuple] = {}
+        merged: Dict[str, TransactionRecord] = {}
+        for entry in entries:
+            if entry.kind == SEMEL_PUT:
+                key, value, version = entry.payload
+                version = Version(*version)
+                puts[(key, tuple(version))] = (key, value, version)
+            elif entry.kind == SEMEL_DELETE:
+                (key,) = entry.payload
+                puts = {kv: item for kv, item in puts.items()
+                        if kv[0] != key}
+            elif entry.kind == TXN_RECORD:
+                record = entry.payload.to_record()
+                existing = merged.get(record.txn_id)
+                if (existing is None
+                        or STATUS_RANK[record.status]
+                        > STATUS_RANK[existing.status]):
+                    merged[record.txn_id] = record
+        for record in merged.values():
+            if record.status == COMMITTED:
+                version = record.commit_version_of
+                for key, value in record.writes:
+                    puts.setdefault((key, tuple(version)),
+                                    (key, value, version))
+        if puts:
+            self.backend.bulk_load(
+                puts[kv] for kv in sorted(puts))
+        self.txn_table = merged
+        for key in self.backend.keys():
+            versions = self.backend.versions_of(key)
+            if versions:
+                self.key_states.mark_committed(key, versions[0])
+        for record in merged.values():
+            if record.status == PREPARED:
+                for key, _value in record.writes:
+                    self.key_states.mark_prepared(
+                        key, record.txn_id, record.ts_commit)
+
+    def catch_up_from_primary(self):
+        """Generator: pull decided records and newest store versions
+        from the shard primary after an amnesia restart. Returns True
+        once caught up, False when the primary was unreachable (the
+        restart protocol retries)."""
+        primary = self.shard.primary
+        if primary == self.name:
+            return True
+        try:
+            reply = yield self.node.call(
+                primary, "milana.catchup",
+                MilanaCatchup(replica=self.name),
+                timeout=self.replication_timeout)
+        except RpcError:
+            return False
+        for wire in reply.records:
+            record = wire.to_record()
+            existing = self.txn_table.get(record.txn_id)
+            if (existing is None
+                    or STATUS_RANK[record.status]
+                    > STATUS_RANK[existing.status]):
+                self.txn_table[record.txn_id] = record
+                if self.wal is not None:
+                    # Catch-up data must survive the *next* crash too;
+                    # no ack rides on it, so a background fsync is fine.
+                    yield from self.wal.append_txn(record, sync=False)
+            if record.status == COMMITTED:
+                version = record.commit_version_of
+                for key, value in record.writes:
+                    if version not in self.backend.versions_of(key):
+                        yield self.backend.put(key, value, version)
+        for key, version_tuple, value in reply.versions:
+            version = Version(*version_tuple)
+            if version not in self.backend.versions_of(key):
+                yield self.backend.put(key, value, version)
+                if self.wal is not None:
+                    yield from self.wal.append_put(
+                        key, value, version, sync=False)
+        return True
+
+    def _handle_catchup(self, request: MilanaCatchup):
+        """Primary side of a restarted backup's catch-up pull.
+
+        Requires the primary *role* but not serving state: a primary
+        mid-lease-wait already holds the merged, authoritative table,
+        and backups catching up during that window shortens the shard's
+        exposure to a second failure.
+        """
+        self._require_primary()
+        records = tuple(
+            TxnRecordWire.from_record(record)
+            for _txn_id, record in sorted(self.txn_table.items())
+            if record.status in (COMMITTED, ABORTED))
+        versions = []
+        for key in sorted(self.backend.keys()):
+            result = yield self.backend.get(key)
+            if result is None:
+                continue
+            version, value = result
+            versions.append((key, tuple(version), value))
+        return MilanaCatchupReply(records=records,
+                                  versions=tuple(versions))
 
     # -- leases (§4.5) ----------------------------------------------------------------------------
 
@@ -516,9 +699,12 @@ class MilanaServer(StorageServer):
                 yield from self._apply_commit(record)
             else:
                 self._apply_abort(record)
+                if self.wal is not None:
+                    yield from self.wal.append_txn(
+                        record, sync=self.wal.config.sync_decides)
                 yield from self._replicate_txn_record(record)
         finally:
-            del self._inflight_txn_ops[record.txn_id]
+            self._inflight_txn_ops.pop(record.txn_id, None)
             if tracer is not None:
                 tracer.on_release(("inflight", self.name, record.txn_id))
             done.succeed()

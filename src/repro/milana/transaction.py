@@ -19,6 +19,7 @@ __all__ = [
     "COMMITTED",
     "ABORTED",
     "UNKNOWN",
+    "STATUS_RANK",
     "ReadObservation",
     "Transaction",
     "TransactionRecord",
@@ -30,6 +31,10 @@ PREPARED = "PREPARED"
 COMMITTED = "COMMITTED"
 ABORTED = "ABORTED"
 UNKNOWN = "UNKNOWN"
+
+#: Merge order for replica logs and WAL replay: a decided status always
+#: beats PREPARED, and once decided a status never changes.
+STATUS_RANK = {PREPARED: 0, ABORTED: 1, COMMITTED: 2}
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 from ..sim.core import Simulator
-from ..sim.events import Event
+from ..sim.events import Event, Interrupt
 from ..sim.process import Process
 from ..wire.registry import spec_for
 from ..wire.sizing import LENGTH_PREFIX_SIZE, SCALAR_SIZE, payload_size
@@ -117,6 +117,11 @@ class RpcNode:
         #: are converted to error responses, and counted here so tests can
         #: assert nothing blew up silently.
         self.handler_errors = 0
+        #: Live serve/call processes, so an amnesia crash can interrupt
+        #: every in-flight handler (they reference volatile state through
+        #: ``self`` and must not keep mutating it across a restart).
+        self._procs: set = set()
+        self.crashes = 0
         self._dispatcher = sim.process(self._dispatch_loop())
 
     # -- server side -------------------------------------------------------
@@ -155,7 +160,7 @@ class RpcNode:
                 self._trace("request", method=message.method,
                             request_id=message.request_id,
                             src=message.src)
-                self.sim.process(self._serve(message))
+                self._track(self.sim.process(self._serve(message)))
             elif isinstance(message, Response):
                 waiter = self._pending.pop(message.request_id, None)
                 if waiter is not None and not waiter.triggered:
@@ -186,6 +191,10 @@ class RpcNode:
                     f"{request.method} handler must return "
                     f"{spec.response.__name__}, got "
                     f"{type(result).__name__}")
+        except Interrupt:
+            # Crash-kill: the node is going down mid-request; vanish
+            # without a response (the network drops our traffic anyway).
+            raise
         except AppError as exc:
             if not request.oneway:
                 self.network.send(self.name, request.src, Response(
@@ -221,8 +230,10 @@ class RpcNode:
         off exponentially with deterministic jitter between attempts.
         """
         _check_request_payload(method, payload)
-        return self.sim.process(
+        proc = self.sim.process(
             self._call(dst, method, payload, timeout, retries))
+        self._track(proc)
+        return proc
 
     def send_oneway(self, dst: str, method: str, payload: Any = None) -> None:
         """Fire-and-forget one-way message."""
@@ -233,6 +244,40 @@ class RpcNode:
 
     #: Historical name for :meth:`send_oneway`.
     notify = send_oneway
+
+    # -- crash / restart ---------------------------------------------------
+
+    def _track(self, proc: Process) -> Process:
+        self._procs.add(proc)
+        proc.callbacks.append(self._untrack)
+        return proc
+
+    def _untrack(self, proc: Event) -> None:
+        self._procs.discard(proc)
+
+    def crash(self) -> None:
+        """Amnesia fail-stop: kill the dispatcher and every in-flight
+        serve/call process, forget queued inbox messages and pending
+        response waiters. The caller is responsible for having the
+        network drop this node's traffic first (``Network.crash``)."""
+        if self._dispatcher.is_alive:
+            self._dispatcher.interrupt("crash")
+        for proc in list(self._procs):
+            if proc.is_alive:
+                proc.interrupt("crash")
+        self._procs.clear()
+        self._pending.clear()
+        self._inbox.reset()
+        self.crashes += 1
+
+    def restart(self) -> None:
+        """Re-arm a crashed node: fresh dispatcher, empty pending set."""
+        if self._dispatcher.is_alive:
+            raise RuntimeError(
+                f"{self.name}: restart() while the dispatcher is alive; "
+                f"crash() first")
+        self._pending.clear()
+        self._dispatcher = self.sim.process(self._dispatch_loop())
 
     def _call(self, dst: str, method: str, payload: Any,
               timeout: float, retries: int):

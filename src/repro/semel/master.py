@@ -225,3 +225,13 @@ class HeartbeatReporter:
                 MasterHeartbeat(server=self.server.name,
                                 shard=self.server.shard_name))
             yield self.server.sim.timeout(self.interval)
+
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self) -> None:
+        if self._daemon is not None and self._daemon.is_alive:
+            self._daemon.interrupt("crash")
+        self._daemon = None
+
+    def restart(self) -> None:
+        self.start()

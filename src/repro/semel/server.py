@@ -49,6 +49,12 @@ __all__ = ["StorageServer"]
 class StorageServer:
     """One shard replica: RPC service over a versioned storage backend."""
 
+    #: Optional :class:`repro.durability.WriteAheadLog`, attached by the
+    #: cluster when durability is configured. A class attribute (like
+    #: ``Simulator.tracer``) so the disabled path costs one attribute
+    #: load and schedules stay byte-identical.
+    wal = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -184,6 +190,11 @@ class StorageServer:
                 # stamps recover the order, so concurrent writers to the
                 # same key are not a race.
                 tracer.on_write(("store", self.name, key), relaxed=True)
+            if self.wal is not None:
+                # Durable before the ack that claims it (§3.3): the put
+                # must survive an amnesia crash of this primary.
+                yield from self.wal.append_put(
+                    key, value, version, sync=self.wal.config.sync_semel)
             yield from self._replicate(SemelReplicate(
                 op="put", key=key, value=value, version=tuple(version)))
             self._unreplicated.discard(inflight_key)
@@ -191,7 +202,9 @@ class StorageServer:
             if tracer is not None:
                 tracer.on_release(("inflight-put", self.name, key,
                                    tuple(version)))
-            del self._inflight_puts[inflight_key]
+            # pop, not del: a crash-kill interrupt lands here after the
+            # volatile tables were replaced, so the key may be gone.
+            self._inflight_puts.pop(inflight_key, None)
             done.succeed()
         return SemelPutReply(applied=True, duplicate=False)
 
@@ -207,6 +220,9 @@ class StorageServer:
     def _handle_delete(self, request: SemelDelete):
         self._require_primary()
         yield self.backend.delete(request.key)
+        if self.wal is not None:
+            yield from self.wal.append_delete(
+                request.key, sync=self.wal.config.sync_semel)
         yield from self._replicate(SemelReplicate(
             op="delete", key=request.key))
         return SemelDeleteReply(applied=True)
@@ -229,11 +245,20 @@ class StorageServer:
                     if tracer is not None:
                         tracer.on_write(("store", self.name, key),
                                         relaxed=True)
+                    if self.wal is not None:
+                        # The Ack below is this backup's durability
+                        # claim toward the primary's quorum count.
+                        yield from self.wal.append_put(
+                            key, request.value, version,
+                            sync=self.wal.config.sync_semel)
                 finally:
-                    del self._inflight_puts[inflight_key]
+                    self._inflight_puts.pop(inflight_key, None)
                     done.succeed()
         elif request.op == "delete":
             yield self.backend.delete(key)
+            if self.wal is not None:
+                yield from self.wal.append_delete(
+                    key, sync=self.wal.config.sync_semel)
         else:
             raise AppError(f"unknown replication op {request.op!r}")
         return Ack()
@@ -245,6 +270,26 @@ class StorageServer:
             self.backend.set_watermark(watermark)
         yield from ()  # handler protocol: must be a generator
         return Ack()
+
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Amnesia fail-stop: kill every in-flight process on this node
+        and wipe all volatile state. The caller must already have the
+        network dropping this node's traffic (:meth:`Network.crash`);
+        only the WAL's durable prefix survives."""
+        self.node.crash()
+        if self.wal is not None:
+            self.wal.crash()
+        self._inflight_puts = {}
+        self._unreplicated = set()
+        self.watermarks = WatermarkTracker()
+
+    def restart(self, backend: KVBackend) -> None:
+        """Come back up empty over a fresh ``backend``; state is rebuilt
+        by WAL replay and the cluster restart protocol."""
+        self.backend = backend
+        self.node.restart()
 
     # -- replication ---------------------------------------------------------------
 

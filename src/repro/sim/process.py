@@ -70,6 +70,13 @@ class Process(Event):
                 waiting_on.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not waiting_on.callbacks:
+                # Abandoned with no other waiters: if the event later
+                # fails (a replication quorum collapsing under a
+                # crash-killed handler, a timeout racing the interrupt)
+                # nobody is left to observe it — defuse so the failure
+                # cannot raise into the run loop.
+                waiting_on.defused = True
         self._waiting_on = carrier
         carrier.callbacks.append(self._resume)
         self.sim.schedule(carrier)

@@ -67,6 +67,18 @@ class Store:
             self._getters.append(event)
         return event
 
+    def reset(self) -> None:
+        """Crash semantics: drop buffered items and abandon all waiters.
+
+        Pending get/put events are simply forgotten — the processes that
+        held them are expected to have been interrupted by the caller
+        (a revived consumer must issue a fresh ``get``, or a stale
+        pre-crash getter would swallow the first post-restart item).
+        """
+        self._items.clear()
+        self._getters.clear()
+        self._putters.clear()
+
     def _admit_putter(self) -> None:
         if self._putters and len(self._items) < self.capacity:
             putter, item = self._putters.popleft()

@@ -45,6 +45,8 @@ __all__ = [
     "MilanaTxnStatusReply",
     "MilanaFetchLog",
     "MilanaFetchLogReply",
+    "MilanaCatchup",
+    "MilanaCatchupReply",
     "MilanaReplicateTxn",
     "MilanaRenewLease",
     "MilanaRenewLeaseReply",
@@ -366,6 +368,34 @@ class MilanaFetchLogReply(WireMessage):
         return cls(records=tuple(
             TxnRecordWire.from_wire(record)
             for record in payload["records"]))
+
+
+@dataclass(frozen=True)
+class MilanaCatchup(WireMessage):
+    """``milana.catchup``: a restarted backup's pull for everything it
+    may have missed while down — decided records plus the newest stored
+    version of every key (prepared records travel separately via normal
+    ``milana.replicate_txn`` traffic and the recovery merge)."""
+
+    replica: str
+
+
+@dataclass(frozen=True)
+class MilanaCatchupReply(WireMessage):
+    records: Tuple[TxnRecordWire, ...] = ()
+    #: ((key, version tuple, value), ...) — newest version per key.
+    versions: Tuple[Tuple[str, Tuple[float, int], Any], ...] = ()
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "MilanaCatchupReply":
+        return cls(
+            records=tuple(
+                TxnRecordWire.from_wire(record)
+                for record in payload["records"]),
+            versions=tuple(
+                (key, tuple(version), value)
+                for key, version, value in payload["versions"]),
+        )
 
 
 @dataclass(frozen=True)

@@ -93,6 +93,10 @@ _SPECS: Tuple[MethodSpec, ...] = (
     MethodSpec("milana.fetch_log", m.MilanaFetchLog,
                m.MilanaFetchLogReply, "recovering primary", "replica",
                doc="full transaction log pull for the Algorithm 2 merge"),
+    MethodSpec("milana.catchup", m.MilanaCatchup, m.MilanaCatchupReply,
+               "restarted backup", "shard primary",
+               doc="post-restart pull of decided records and newest "
+                   "stored versions"),
     MethodSpec("milana.renew_lease", m.MilanaRenewLease,
                m.MilanaRenewLeaseReply, "shard primary", "backup",
                doc="read-lease renewal; f grants required (§4.5)"),
@@ -167,6 +171,10 @@ def _examples() -> Dict[str, Tuple[WireMessage, WireMessage]]:
                                m.MilanaTxnStatusReply(status="COMMITTED")),
         "milana.fetch_log": (m.MilanaFetchLog(),
                              m.MilanaFetchLogReply(records=(record,))),
+        "milana.catchup": (
+            m.MilanaCatchup(replica="srv-0-1"),
+            m.MilanaCatchupReply(records=(record,),
+                                 versions=(("key:0", (1e-3, 2), "v"),))),
         "milana.renew_lease": (
             m.MilanaRenewLease(primary="srv-0-0", expiry=0.1),
             m.MilanaRenewLeaseReply()),

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.durability import DurabilityConfig
 from repro.harness.chaos import ChaosMonkey, FailurePlan
 from repro.harness.cluster import Cluster, ClusterConfig
 from repro.milana import COMMITTED
@@ -122,6 +123,34 @@ class TestChaosMonkey:
         victims = {victim for _, victim in monkey.kills}
         assert monkey.kills
         assert victims == {"srv-0-1"}
+
+    def test_amnesia_mode_wipes_and_restarts_victims(self):
+        """``amnesia=True`` kills for real: victims go through
+        crash_server → WAL replay → catch-up, never count toward a
+        quorum mid-recovery, and committed data still survives."""
+        cluster = make_cluster(num_clients=2, clock_preset="perfect",
+                               durability=DurabilityConfig())
+        monkey = ChaosMonkey(cluster, SeededRng(163),
+                             interval=8e-3, downtime=4e-3,
+                             amnesia=True)
+        monkey.start()
+        instances = [
+            RetwisInstance(cluster.sim, client, cluster.populated_keys,
+                           cluster.rng.substream(f"amn{i}"), alpha=0.5)
+            for i, client in enumerate(cluster.clients)
+        ]
+        procs = [instance.run_transactions(80) for instance in instances]
+        for proc in procs:
+            cluster.sim.run_until_event(proc)
+        assert monkey.kills
+        # Every victim was really wiped: its WAL had to be replayed.
+        victims = {victim for _, victim in monkey.kills}
+        for victim in victims:
+            assert cluster.servers[victim].wal.replays >= 1, victim
+        committed = sum(i.stats.committed for i in instances)
+        assert committed >= 120, (
+            f"only {committed}/160 logical transactions committed under "
+            "rolling amnesia crashes")
 
     def test_include_primaries_with_master_failover(self):
         """With a master running, the monkey may kill primaries too;

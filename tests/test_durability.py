@@ -1,0 +1,425 @@
+"""Durability tests: WAL semantics, amnesia crash/restart, nemesis audits.
+
+Three layers, matching the crash model in docs/NEMESIS.md:
+
+* :class:`TestWriteAheadLog` — the simulated log in isolation: fsync
+  points, the crash-droppable volatile tail, replay-cost accounting;
+* cluster-level crash/restart — volatile state is really wiped, the
+  restart protocol really replays the WAL and rejoins via Algorithm 2
+  (primary) or catch-up (backup), and the legacy ``recover_server``
+  resurrection is gone;
+* end-to-end nemesis acceptance — the ``crash-restart`` scenario passes
+  the post-heal audit with durable logging on, and the ack-before-fsync
+  control demonstrably *fails* the same audit (lost acked writes), so
+  the audit is known to have teeth.
+"""
+
+import pytest
+
+from repro.durability import (
+    SEMEL_PUT,
+    TXN_RECORD,
+    DurabilityConfig,
+    WriteAheadLog,
+)
+from repro.harness import nemesis
+from repro.harness.audit import run_audit, sync_replicas
+from repro.harness.chaos import NemesisPlan
+from repro.harness.cluster import Cluster, ClusterConfig
+from repro.harness.nemesis import nemesis_config, run_nemesis
+from repro.milana import (
+    COMMITTED,
+    DEFAULT_CTP_TIMEOUT,
+    DEFAULT_LEASE_DURATION,
+    PREPARED,
+    TransactionRecord,
+)
+from repro.milana.client import MilanaClient
+from repro.sim import Simulator
+from repro.wire import TxnRecordWire
+
+
+def _drain(generator):
+    """Run a no-yield generator to completion and return its value."""
+    try:
+        while True:
+            next(generator)
+    except StopIteration as stop:
+        return stop.value
+
+
+def _history_factory(sim, network, directory, clock, client_id,
+                     local_validation):
+    return MilanaClient(sim, network, directory, clock,
+                        client_id=client_id,
+                        local_validation=local_validation,
+                        record_history=True)
+
+
+def make_cluster(**overrides):
+    defaults = dict(num_shards=1, replicas_per_shard=3, num_clients=2,
+                    backend="dram", clock_preset="perfect", seed=9,
+                    populate_keys=32, durability=DurabilityConfig(),
+                    client_factory=_history_factory)
+    defaults.update(overrides)
+    return Cluster(ClusterConfig(**defaults))
+
+
+class TestWriteAheadLog:
+    def _wal(self, **overrides):
+        sim = Simulator()
+        return sim, WriteAheadLog(sim, "srv", DurabilityConfig(**overrides))
+
+    def test_sync_append_durable_after_fsync(self):
+        sim, wal = self._wal()
+        proc = sim.process(wal.append(SEMEL_PUT, ("k", "v", (1.0, 1))))
+        entry = sim.run_until_event(proc)
+        assert entry.durable and not entry.lost
+        assert sim.now == pytest.approx(wal.config.fsync_latency)
+        assert wal.appends == 1 and wal.fsyncs == 1
+
+    def test_sync_append_survives_crash(self):
+        sim, wal = self._wal()
+        entry = sim.run_until_event(
+            sim.process(wal.append(TXN_RECORD, "decided")))
+        wal.crash()
+        assert not entry.lost
+        assert [e.lsn for e in wal.durable_records()] == [entry.lsn]
+        assert wal.crashes == 1 and wal.records_lost == 0
+
+    def test_nosync_tail_lost_on_crash_inside_fsync_window(self):
+        sim, wal = self._wal()
+        entry = _drain(wal.append(TXN_RECORD, "volatile", sync=False))
+        assert not entry.durable  # the caller did not wait for the fsync
+        wal.crash()
+        assert entry.lost and wal.records_lost == 1
+        # The in-flight background fsync must not resurrect the entry.
+        sim.run(until=wal.config.fsync_latency * 3)
+        assert not entry.durable
+        assert wal.durable_records() == []
+
+    def test_nosync_append_survives_once_background_fsync_lands(self):
+        sim, wal = self._wal()
+        entry = _drain(wal.append(TXN_RECORD, "volatile", sync=False))
+        sim.run(until=wal.config.fsync_latency * 2)
+        assert entry.durable
+        wal.crash()
+        assert not entry.lost
+        assert [e.lsn for e in wal.durable_records()] == [entry.lsn]
+
+    def test_bootstrap_is_durable_and_free(self):
+        sim, wal = self._wal()
+        entry = wal.bootstrap_put("k", "v", (0.0, 0))
+        assert entry.durable and sim.now == 0.0
+        wal.crash()
+        assert wal.durable_records() == [entry]
+
+    def test_replay_delay_scales_with_durable_prefix(self):
+        sim, wal = self._wal(replay_latency=3e-6)
+        for i in range(5):
+            wal.bootstrap(SEMEL_PUT, (f"k{i}", i, (0.0, 0)))
+        assert wal.replay_delay() == pytest.approx(15e-6)
+        assert wal.replay_delay(2) == pytest.approx(6e-6)
+
+    def test_append_txn_snapshots_the_record(self):
+        sim, wal = self._wal()
+        record = TransactionRecord(
+            txn_id="t1", client_id=1, client_name="c", ts_commit=1.0,
+            reads=[], writes=[], participants=["shard0"],
+            status=PREPARED)
+        entry = sim.run_until_event(sim.process(wal.append_txn(record)))
+        record.status = COMMITTED  # later mutation must not alias
+        assert isinstance(entry.payload, TxnRecordWire)
+        assert entry.payload.status == PREPARED
+
+
+class TestClusterCrashRestart:
+    def _commit(self, cluster, client, key, value):
+        def work():
+            txn = client.begin()
+            yield client.txn_get(txn, key)
+            client.put(txn, key, value)
+            return (yield client.commit(txn))
+        outcome = cluster.sim.run_until_event(cluster.sim.process(work()))
+        assert outcome == COMMITTED
+
+    def _read(self, cluster, client, key):
+        def work():
+            txn = client.begin()
+            value = yield client.txn_get(txn, key)
+            yield client.commit(txn)
+            return value
+        return cluster.sim.run_until_event(cluster.sim.process(work()))
+
+    def test_primary_crash_restart_round_trip(self):
+        """An acked write survives its primary's amnesia crash: WAL
+        replay plus Algorithm 2 rebuild the store, and the key is
+        served again once the lease wait is over."""
+        cluster = make_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+        key = cluster.populated_keys[0]
+        self._commit(cluster, client, key, "survivor")
+
+        cluster.crash_server("srv-0-0")
+        server = cluster.servers["srv-0-0"]
+        assert cluster.server_state("srv-0-0") == "crashed"
+        assert server.txn_table == {}  # volatile state wiped
+
+        proc = cluster.restart_server("srv-0-0")
+        assert cluster.server_state("srv-0-0") == "recovering"
+        sim.run_until_event(proc)
+        assert cluster.server_state("srv-0-0") == "up"
+        assert server.wal.replays == 1
+        sim.run(until=sim.now + DEFAULT_LEASE_DURATION + 50e-3)
+        assert self._read(cluster, client, key) == "survivor"
+
+    def test_backup_crash_restart_catches_up(self):
+        """A restarted backup pulls decided records and missed versions
+        from its primary via milana.catchup."""
+        cluster = make_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+        key = cluster.populated_keys[0]
+        cluster.crash_server("srv-0-1")
+        self._commit(cluster, client, key, "missed-while-down")
+        sim.run(until=sim.now + 10e-3)
+
+        proc = cluster.restart_server("srv-0-1")
+        sim.run_until_event(proc)
+        primary = cluster.servers["srv-0-0"]
+        backup = cluster.servers["srv-0-1"]
+        assert backup.backend.versions_of(key)
+        assert (backup.backend.versions_of(key)[0]
+                == primary.backend.versions_of(key)[0])
+
+    def test_pause_keeps_state_crash_wipes_it(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        key = cluster.populated_keys[0]
+        self._commit(cluster, client, key, "v1")
+        primary = cluster.servers["srv-0-0"]
+        assert primary.txn_table
+
+        cluster.pause_server("srv-0-0")
+        assert cluster.server_state("srv-0-0") == "paused"
+        assert primary.txn_table  # pause = link cut, memory intact
+        cluster.unpause_server("srv-0-0")
+        assert cluster.server_state("srv-0-0") == "up"
+        assert primary.txn_table
+
+        cluster.crash_server("srv-0-0")
+        assert not primary.txn_table
+
+    def test_recover_server_resurrection_is_removed(self):
+        cluster = make_cluster()
+        cluster.fail_server("srv-0-1")
+        with pytest.raises(RuntimeError, match="no longer exists"):
+            cluster.recover_server("srv-0-1")
+        cluster.unpause_server("srv-0-1")  # the honest replacement
+
+    def test_restart_guards(self):
+        cluster = make_cluster()
+        with pytest.raises(RuntimeError, match="not crashed"):
+            cluster.restart_server("srv-0-0")
+        cluster.pause_server("srv-0-1")
+        with pytest.raises(RuntimeError, match="paused, not crashed"):
+            cluster.restart_server("srv-0-1")
+        cluster.crash_server("srv-0-2")
+        with pytest.raises(RuntimeError, match="amnesia-crashed"):
+            cluster.unpause_server("srv-0-2")
+        with pytest.raises(RuntimeError, match="amnesia-crashed"):
+            cluster.pause_server("srv-0-2")
+        cluster.restart_server("srv-0-2")
+        with pytest.raises(RuntimeError, match="already restarting"):
+            cluster.restart_server("srv-0-2")
+
+    def test_crash_without_wal_still_fail_stops(self):
+        """Without a durability config the crash semantics are the
+        same — there is simply nothing to replay, so the restarted
+        server comes back empty and catches up from its shard."""
+        cluster = make_cluster(durability=None)
+        assert cluster.servers["srv-0-1"].wal is None
+        cluster.crash_server("srv-0-1")
+        proc = cluster.restart_server("srv-0-1")
+        cluster.sim.run_until_event(proc)
+        assert cluster.server_state("srv-0-1") == "up"
+
+
+#: Who dies, and at which CTP phase boundary. Participant placements
+#: bracket the prepare and decide log points on a shard primary
+#: (before any prepare is logged / PREPARED logged but decide not yet /
+#: decide logged); the coordinator placement silences the client after
+#: a participant logged PREPARED but before the decide could be sent,
+#: leaving the transaction in-doubt for CTP to terminate.
+CRASH_PLACEMENTS = (
+    "participant-before-prepare",
+    "participant-on-prepared",
+    "participant-on-committed",
+    "coordinator-on-prepared",
+)
+
+
+class TestCrashPlacement:
+    """Satellite: parametrized crash points at CTP phase boundaries.
+
+    A monitor process watches the victim primary's transaction table and
+    injects the fault at the requested phase; after restart plus a
+    settle past the lease horizon and several CTP rounds, the full audit
+    must pass — no acked commit lost, nothing stuck PREPARED."""
+
+    @pytest.mark.parametrize("placement", CRASH_PLACEMENTS)
+    def test_crash_at_phase_boundary(self, placement):
+        config = ClusterConfig(
+            num_shards=2, replicas_per_shard=3, num_clients=2,
+            backend="dram", clock_preset="perfect", seed=11,
+            populate_keys=64, ctp_timeout=DEFAULT_CTP_TIMEOUT,
+            durability=DurabilityConfig(),
+            client_factory=_history_factory)
+        cluster = Cluster(config)
+        sim = cluster.sim
+        victim = cluster.directory.shard("shard1").primary
+        server = cluster.servers[victim]
+
+        by_shard = {}
+        for key in cluster.populated_keys:
+            by_shard.setdefault(cluster.directory.shard_of(key).name, key)
+        key0, key1 = by_shard["shard0"], by_shard["shard1"]
+
+        coordinator = cluster.clients[0]
+        coordinator_node = f"milana-client-{coordinator.client_id}"
+        crash_time = []
+
+        def inject():
+            if placement == "coordinator-on-prepared":
+                cluster.network.crash(coordinator_node)
+            else:
+                cluster.crash_server(victim)
+            crash_time.append(sim.now)
+
+        def phase_reached():
+            if placement == "coordinator-on-prepared":
+                # One of the coordinator's own transactions is prepared
+                # on the participant; its decide is now at risk.
+                return any(rec.status == PREPARED
+                           and rec.client_id == coordinator.client_id
+                           for rec in server.txn_table.values())
+            want = (PREPARED if placement == "participant-on-prepared"
+                    else COMMITTED)
+            return any(rec.status == want
+                       for rec in server.txn_table.values())
+
+        def monitor():
+            if placement == "participant-before-prepare":
+                yield sim.timeout(5e-3)
+            else:
+                while sim.now < 0.2 and not phase_reached():
+                    yield sim.timeout(20e-6)
+                if sim.now >= 0.2:
+                    return  # never reached the phase; asserted below
+            inject()
+
+        def work(client, offset):
+            # Long enough to outlast crash + restart + lease wait
+            # (~150 ms), so commits land on both sides of the fault.
+            committed = 0
+            yield sim.timeout(offset)
+            for i in range(120):
+                txn = client.begin()
+                try:
+                    yield client.txn_get(txn, key0)
+                    yield client.txn_get(txn, key1)
+                    client.put(txn, key0, f"c{client.client_id}-{i}-a")
+                    client.put(txn, key1, f"c{client.client_id}-{i}-b")
+                    outcome = yield client.commit(txn)
+                except Exception:
+                    try:
+                        client.abort(txn, "fault")
+                    except Exception:
+                        pass
+                    outcome = None
+                if outcome == COMMITTED:
+                    committed += 1
+                yield sim.timeout(2e-3)
+            return committed
+
+        def restarter():
+            while not crash_time and sim.now < 0.25:
+                yield sim.timeout(1e-3)
+            if not crash_time:
+                return None
+            yield sim.timeout(30e-3)
+            if placement == "coordinator-on-prepared":
+                cluster.network.recover(coordinator_node)
+            else:
+                yield cluster.restart_server(victim)
+            return sim.now
+
+        mon = sim.process(monitor())
+        restart = sim.process(restarter())
+        procs = [sim.process(work(client, 1e-3 * index))
+                 for index, client in enumerate(cluster.clients)]
+        for proc in procs:
+            sim.run_until_event(proc)
+        sim.run_until_event(restart)
+        assert not mon.is_alive
+        assert crash_time, f"{placement}: crash point never reached"
+        assert cluster.server_state(victim) == "up"
+        if placement.startswith("participant"):
+            assert server.wal.replays >= 1
+
+        sim.run(until=sim.now + DEFAULT_LEASE_DURATION
+                + 3 * DEFAULT_CTP_TIMEOUT + 50e-3)
+        sim.run_until_event(sync_replicas(cluster))
+        sim.run(until=sim.now + 20e-3)
+        report = run_audit(cluster)
+        assert report.passed, f"{placement}:\n{report.summary()}"
+        assert report.committed_txns > 0
+
+
+def _shard_wipe(cluster, rng, start, duration):
+    """Whole-shard amnesia crash with staggered restarts: every replica
+    of shard0 loses its memory at once, so recovery can only come from
+    the WALs. The deliberately lossy control (ack-before-fsync, slow
+    fsyncs) must lose acked writes here."""
+    plan = NemesisPlan(cluster, name="shard-wipe")
+    shard = cluster.directory.shard("shard0")
+    for index, node in enumerate(sorted(shard.replicas)):
+        plan.crash(start, node)
+        plan.restart(start + duration * (0.5 + 0.1 * index), node)
+    return plan
+
+
+class TestNemesisAcceptance:
+    def test_crash_restart_scenario_passes_audit(self):
+        """The PR's acceptance run: seeded crash of a shard primary
+        mid-workload recovers through WAL replay + Algorithm 2 and the
+        post-heal audit holds."""
+        result = run_nemesis("crash-restart")
+        assert result.passed, result.summary()
+        assert result.metrics.committed > 0
+        primary = result.cluster.directory.shard("shard0").primary
+        assert result.cluster.servers[primary].wal.replays >= 1
+        assert not result.audit.lost_writes
+        assert not result.audit.stuck_prepared
+
+    def test_whole_shard_wipe_durable_vs_lossy_control(self):
+        """The A/B that proves the audit has teeth: the same whole-shard
+        wipe passes with honest ack-after-fsync WALs and fails with the
+        ack-before-fsync control (acked writes vanish)."""
+        nemesis.SCENARIOS["shard-wipe"] = _shard_wipe
+        try:
+            durable = run_nemesis("shard-wipe")
+            assert durable.passed, durable.summary()
+
+            lossy = DurabilityConfig(
+                sync_prepares=False, sync_decides=False,
+                sync_semel=False, fsync_latency=20e-3)
+            control = run_nemesis(
+                "shard-wipe", config=nemesis_config(durability=lossy))
+            assert not control.passed, (
+                "ack-before-fsync control unexpectedly passed the "
+                "audit:\n" + control.summary())
+            assert control.audit.lost_writes
+        finally:
+            del nemesis.SCENARIOS["shard-wipe"]

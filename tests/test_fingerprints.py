@@ -56,3 +56,33 @@ class TestGoldenFingerprints:
         # Floats travel as repr() strings so the canonical form never
         # depends on json float formatting.
         assert material["now"] == repr(float(material["now"]))
+
+
+class TestDurabilityZeroCostSeam:
+    """Durability must stay opt-in so the golden fingerprints above keep
+    gating the kernel with WALs disabled.
+
+    The durability layer (PR 8) hooks the SEMEL/MILANA hot paths behind
+    ``if self.wal is not None`` guards. These tests pin the seam shut by
+    default: were ``ClusterConfig.durability`` ever to grow a non-None
+    default, every fingerprinted run would start charging fsync latency
+    and the golden fixtures would mask the regression as mere "intended
+    schedule drift". The byte-identical guarantee itself is enforced by
+    ``TestGoldenFingerprints`` — the fixtures were captured before the
+    durability layer existed, so any default-config schedule perturbation
+    from the WAL hooks fails there."""
+
+    def test_cluster_config_defaults_to_no_durability(self):
+        from repro.harness.cluster import ClusterConfig
+        field = ClusterConfig.__dataclass_fields__["durability"]
+        assert field.default is None
+
+    def test_fingerprint_clusters_carry_no_wal(self):
+        from repro.bench.fingerprint import _default_config
+        from repro.harness.cluster import Cluster
+
+        config = _default_config()
+        assert config.durability is None
+        cluster = Cluster(config)
+        assert all(server.wal is None
+                   for server in cluster.servers.values())

@@ -41,7 +41,7 @@ class TestFailureDetection:
         cluster.fail_server("srv-0-2")
         cluster.sim.run(until=0.3)
         assert not cluster.master.is_alive("srv-0-2")
-        cluster.recover_server("srv-0-2")
+        cluster.unpause_server("srv-0-2")
         cluster.sim.run(until=0.4)
         assert cluster.master.is_alive("srv-0-2")
 
@@ -122,7 +122,7 @@ class TestAutoFailover:
 
         # Bring the first dead server back: now a majority exists again
         # and the detector completes the second failover.
-        cluster.recover_server("srv-0-0")
+        cluster.unpause_server("srv-0-0")
         cluster.sim.run(until=cluster.sim.now + 0.5)
         assert len(cluster.master.failovers) == 2
 

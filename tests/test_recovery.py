@@ -499,8 +499,8 @@ class TestLeases:
             cluster.sim.process(read_one()))
         assert result.startswith("refused")
 
-        cluster.recover_server("srv-0-1")
-        cluster.recover_server("srv-0-2")
+        cluster.unpause_server("srv-0-1")
+        cluster.unpause_server("srv-0-2")
         cluster.sim.run(until=cluster.sim.now + 0.1)
         assert manager.held
         assert cluster.sim.run_until_event(
