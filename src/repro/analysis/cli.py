@@ -21,7 +21,7 @@ import importlib
 import json
 import sys
 from pathlib import Path
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline, BaselineError
 from .engine import all_rules, analyze_paths
@@ -127,7 +127,7 @@ def _render_text(new: List[Finding], baselined: int,
 def _render_json(new: List[Finding], baselined: int,
                  files: int, stale: Optional[int],
                  output: Optional[str]) -> None:
-    counts: dict = {}
+    counts: Dict[str, int] = {}
     for finding in new:
         counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
     payload = {

@@ -288,6 +288,7 @@ def rule(cls: Type[Rule]) -> Type[Rule]:
 
 def all_rules() -> Dict[str, Rule]:
     """The registry (id -> rule instance), importing the built-in rules."""
+    from . import durrules as _dur  # noqa: F401 - registration side effect
     from . import iprules as _ip  # noqa: F401 - registration side effect
     from . import rules as _builtin  # noqa: F401 - registration side effect
     return dict(_REGISTRY)

@@ -40,6 +40,8 @@ from .project import (
 from .rules import WallClockRule
 
 __all__ = [
+    "is_volatile_source",
+    "tainted_functions",
     "InterproceduralValidateRaceRule",
     "CheckThenActRaceRule",
     "RegistrationConformanceRule",
@@ -163,6 +165,61 @@ def _node_at(event: Event) -> ast.AST:
     node.lineno = event.line
     node.col_offset = event.col
     return node
+
+
+def is_volatile_source(qualname: str) -> bool:
+    """A fully-qualified call name that reads the wall clock or a
+    non-seeded random stream — the sources DET001/DET002 flag directly
+    and DET101/DUR004 chase through helper returns."""
+    return (qualname in WallClockRule.WALL_CLOCK_CALLS
+            or qualname.split(".")[0] == "random"
+            or qualname.startswith("numpy.random."))
+
+
+def tainted_functions(project: Project,
+                      excluded_path_suffixes: Tuple[str, ...] = ()
+                      ) -> Set[str]:
+    """Qualnames of functions whose return value derives from a
+    wall-clock/random read, propagated through ``return helper(...)``
+    chains. Shared taint engine for DET101 and DUR004."""
+    def excluded(info: FunctionInfo) -> bool:
+        path = info.module.path
+        return any(path.endswith(suffix)
+                   for suffix in excluded_path_suffixes)
+
+    sources: Set[str] = set()
+    for info in project.functions.values():
+        if excluded(info) or not info.returns:
+            continue
+        ctx = info.module
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                qualname = ctx.qualname(node.func)
+                if qualname is not None and is_volatile_source(qualname):
+                    sources.add(info.qualname)
+                    break
+    # Propagate through ``return helper(...)`` chains.
+    changed = True
+    while changed:
+        changed = False
+        for info in project.functions.values():
+            if info.qualname in sources or excluded(info):
+                continue
+            for ret in info.returns:
+                if ret.value is None:
+                    continue
+                for call in ast.walk(ret.value):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    callee = project.resolve_call(info, call)
+                    if callee is not None and \
+                            callee.qualname in sources:
+                        sources.add(info.qualname)
+                        changed = True
+                        break
+                if info.qualname in sources:
+                    break
+    return sources
 
 
 @rule
@@ -511,7 +568,7 @@ class InterproceduralTaintRule(ProjectRule):
     _SCHEDULING_ATTRS = frozenset({"timeout", "schedule", "at", "after"})
 
     def check_project(self, project: Project) -> Iterable[Finding]:
-        tainted = self._tainted_functions(project)
+        tainted = tainted_functions(project, self.excluded_path_suffixes)
         if not tainted:
             return
         for info in project.functions.values():
@@ -523,47 +580,6 @@ class InterproceduralTaintRule(ProjectRule):
         path = info.module.path
         return any(path.endswith(suffix)
                    for suffix in self.excluded_path_suffixes)
-
-    def _tainted_functions(self, project: Project) -> Set[str]:
-        sources: Set[str] = set()
-        for info in project.functions.values():
-            if self._excluded(info):
-                continue
-            if not info.returns:
-                continue
-            ctx = info.module
-            for node in ast.walk(info.node):
-                if isinstance(node, ast.Call):
-                    qualname = ctx.qualname(node.func)
-                    if qualname is None:
-                        continue
-                    if qualname in WallClockRule.WALL_CLOCK_CALLS or \
-                            qualname.split(".")[0] == "random" or \
-                            qualname.startswith("numpy.random."):
-                        sources.add(info.qualname)
-                        break
-        # Propagate through ``return helper(...)`` chains.
-        changed = True
-        while changed:
-            changed = False
-            for info in project.functions.values():
-                if info.qualname in sources or self._excluded(info):
-                    continue
-                for ret in info.returns:
-                    if ret.value is None:
-                        continue
-                    for call in ast.walk(ret.value):
-                        if not isinstance(call, ast.Call):
-                            continue
-                        callee = project.resolve_call(info, call)
-                        if callee is not None and \
-                                callee.qualname in sources:
-                            sources.add(info.qualname)
-                            changed = True
-                            break
-                    if info.qualname in sources:
-                        break
-        return sources
 
     def _sinks(self, project: Project, info: FunctionInfo,
                tainted: Set[str]) -> Iterator[Finding]:

@@ -90,6 +90,39 @@ MUTATOR_METHODS = frozenset({
 #: made while one is held (or to the map itself) are not races.
 LOCK_ATTR_PREFIXES = ("_inflight",)
 
+#: Append entry points of the write-ahead log, for ``wal_append`` event
+#: emission (DUR rules). The generic names only match wal-ish receiver
+#: families (``self.wal.append(...)``, a ``wal`` local) so that plain
+#: ``list.append`` calls never register as log writes.
+WAL_APPEND_METHODS = frozenset({
+    "append", "append_put", "append_delete", "append_txn",
+    "bootstrap", "bootstrap_put",
+})
+
+#: Storage-backend methods that mutate durable (WAL-covered) state, for
+#: ``durable_write`` event emission. ``set_watermark`` is deliberately
+#: absent: the GC watermark is volatile by design and rebuilt from
+#: client reports after a restart.
+DURABLE_STORE_METHODS = frozenset({"put", "delete", "bulk_load"})
+
+
+def _is_wal_family(family: str) -> bool:
+    return "wal" in family.lower()
+
+
+def _append_sync_mode(call: ast.Call) -> str:
+    """Classify a WAL append call's fsync discipline from its ``sync``
+    keyword: ``"sync"`` (True or omitted — ack-after-fsync),
+    ``"nosync"`` (literal False — ack-before-fsync), or ``"config"``
+    (a ``self.wal.config.sync_*`` flag or other expression, honest by
+    default)."""
+    for kw in call.keywords:
+        if kw.arg == "sync":
+            if isinstance(kw.value, ast.Constant):
+                return "sync" if kw.value.value else "nosync"
+            return "config"
+    return "sync"
+
 
 def module_name_for_path(path: str) -> str:
     """Dotted module name derived from a file path.
@@ -614,14 +647,19 @@ class Project:
 class Event:
     """One event in a flattened handler execution: kind is one of
     ``guard_read``, ``read``, ``write``, ``suspend``, ``validate``,
-    ``record``, ``acquire``, ``release``."""
+    ``record``, ``acquire``, ``release``, plus the durability kinds
+    ``wal_append`` (detail = ``sync``/``nosync``/``config`` fsync
+    discipline), ``durable_write`` (a storage-backend mutation the WAL
+    must cover), and ``reply`` (a ``return WireClass(...)``; detail =
+    the class name, node = the constructor call)."""
 
     __slots__ = ("kind", "family", "function", "line", "col",
-                 "in_finally", "lock_depth")
+                 "in_finally", "lock_depth", "detail", "node")
 
     def __init__(self, kind: str, family: Optional[str],
                  function: FunctionInfo, node: ast.AST,
-                 in_finally: bool = False, lock_depth: int = 0) -> None:
+                 in_finally: bool = False, lock_depth: int = 0,
+                 detail: Optional[str] = None) -> None:
         self.kind = kind
         self.family = family
         self.function = function
@@ -629,6 +667,8 @@ class Event:
         self.col = getattr(node, "col_offset", 0)
         self.in_finally = in_finally
         self.lock_depth = lock_depth
+        self.detail = detail
+        self.node = node
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Event {self.kind} {self.family} "
@@ -681,11 +721,13 @@ class InlineWalker:
     # -- helpers -----------------------------------------------------------
 
     def _emit(self, kind: str, family: Optional[str],
-              frame: _Frame, node: ast.AST) -> None:
+              frame: _Frame, node: ast.AST,
+              detail: Optional[str] = None) -> None:
         self.events.append(Event(
             kind, family, frame.info, node,
             in_finally=self.finally_depth > 0,
-            lock_depth=self.lock_depth))
+            lock_depth=self.lock_depth,
+            detail=detail))
 
     def _is_lock_family(self, family: str) -> bool:
         return family.startswith(LOCK_ATTR_PREFIXES)
@@ -815,6 +857,7 @@ class InlineWalker:
         if isinstance(stmt, ast.Return):
             if stmt.value is not None:
                 self._walk_expression(stmt.value, frame)
+                self._emit_reply(stmt.value, frame)
             return
         if isinstance(stmt, ast.Expr):
             self._walk_expression(stmt.value, frame)
@@ -919,6 +962,14 @@ class InlineWalker:
             if isinstance(arg, ast.Call) and self._is_spawn(call):
                 # Spawned generator: its body runs elsewhere; still walk
                 # the argument expressions for reads.
+                family = self._wal_append_family(arg, frame)
+                if family is not None:
+                    # Fire-and-forget log write: the spawning process
+                    # never waits out the fsync, so for ack-ordering
+                    # purposes this is ack-before-fsync regardless of
+                    # the spawned generator's own sync flag.
+                    self._emit("wal_append", family, frame, arg,
+                               detail="nosync")
                 for sub in ast.iter_child_nodes(arg):
                     if isinstance(sub, ast.expr):
                         self._walk_expression(sub, frame)
@@ -948,6 +999,13 @@ class InlineWalker:
                         self.lock_depth += 1
                         self._emit("acquire", receiver_family, frame, call)
                     # plain .get() on a lock map: not a state read
+                elif func.attr in WAL_APPEND_METHODS and \
+                        _is_wal_family(receiver_family):
+                    self._emit("wal_append", receiver_family, frame, call,
+                               detail=_append_sync_mode(call))
+                elif func.attr in DURABLE_STORE_METHODS and not guard:
+                    self._emit("durable_write", receiver_family, frame,
+                               call)
                 elif func.attr in MUTATOR_METHODS:
                     self._emit("write", receiver_family, frame, call)
                     if func.attr in ("mark_prepared", "mark_committed"):
@@ -977,6 +1035,33 @@ class InlineWalker:
                 if families:
                     tags[param] = families[0]
             self._walk_function(callee, tags)
+
+    def _wal_append_family(self, call: ast.Call,
+                           frame: _Frame) -> Optional[str]:
+        """The wal-ish receiver family of a WAL append call, else None."""
+        func = call.func
+        if not isinstance(func, ast.Attribute) or \
+                func.attr not in WAL_APPEND_METHODS:
+            return None
+        family = self._family_of(func.value, frame)
+        if family is not None and _is_wal_family(family):
+            return family
+        return None
+
+    def _emit_reply(self, value: ast.expr, frame: _Frame) -> None:
+        """A ``return SomeClass(...)`` constructs a reply-shaped value;
+        emit it so durability rules can segment handler paths at their
+        acks. Rules filter on the class name (wire replies only)."""
+        if not isinstance(value, ast.Call):
+            return
+        func = value.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name and name[:1].isupper():
+            self._emit("reply", None, frame, value, detail=name)
 
     @staticmethod
     def _is_spawn(call: ast.Call) -> bool:

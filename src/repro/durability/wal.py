@@ -27,7 +27,15 @@ can never alias a mutable server-side record).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import TYPE_CHECKING, Any, Generator, Iterable, List, Optional
+
+if TYPE_CHECKING:
+    from ..sim.core import Simulator
+    from ..sim.events import Event
+
+#: Append generators yield fsync waits (or nothing, for ``sync=False``)
+#: and return the appended record via ``StopIteration.value``.
+_AppendGen = Generator["Event", Any, "WalRecord"]
 
 __all__ = [
     "DurabilityConfig",
@@ -83,7 +91,8 @@ class WalRecord:
 class WriteAheadLog:
     """Per-server append-only log with crash-droppable volatile tail."""
 
-    def __init__(self, sim, owner: str, config: DurabilityConfig) -> None:
+    def __init__(self, sim: "Simulator", owner: str,
+                 config: DurabilityConfig) -> None:
         self.sim = sim
         self.owner = owner
         self.config = config
@@ -107,7 +116,7 @@ class WriteAheadLog:
         self.appends += 1
         return entry
 
-    def append(self, kind: str, payload: Any, sync: bool = True):
+    def append(self, kind: str, payload: Any, sync: bool = True) -> _AppendGen:
         """Generator: append one entry; with ``sync`` wait out its fsync.
 
         With ``sync=False`` the generator yields nothing — the entry is
@@ -124,7 +133,8 @@ class WriteAheadLog:
             self.sim.process(self._background_fsync(entry))
         return entry
 
-    def _background_fsync(self, entry: WalRecord):
+    def _background_fsync(
+            self, entry: WalRecord) -> Generator["Event", Any, None]:
         yield self.sim.timeout(self.config.fsync_latency)
         if not entry.lost:
             entry.durable = True
@@ -138,14 +148,15 @@ class WriteAheadLog:
 
     # -- typed helpers -------------------------------------------------------
 
-    def append_put(self, key: str, value: Any, version, sync: bool = True):
+    def append_put(self, key: str, value: Any, version: Iterable[Any],
+                   sync: bool = True) -> _AppendGen:
         return self.append(SEMEL_PUT, (key, value, tuple(version)),
                            sync=sync)
 
-    def append_delete(self, key: str, sync: bool = True):
+    def append_delete(self, key: str, sync: bool = True) -> _AppendGen:
         return self.append(SEMEL_DELETE, (key,), sync=sync)
 
-    def append_txn(self, record, sync: bool = True):
+    def append_txn(self, record: Any, sync: bool = True) -> _AppendGen:
         """Append a transaction-record snapshot (status included, so a
         decided record is a *new* entry; replay keeps the most-decided
         status per transaction)."""
@@ -153,7 +164,8 @@ class WriteAheadLog:
         return self.append(TXN_RECORD, TxnRecordWire.from_record(record),
                            sync=sync)
 
-    def bootstrap_put(self, key: str, value: Any, version) -> WalRecord:
+    def bootstrap_put(self, key: str, value: Any,
+                      version: Iterable[Any]) -> WalRecord:
         return self.bootstrap(SEMEL_PUT, (key, value, tuple(version)))
 
     # -- crash / replay ------------------------------------------------------

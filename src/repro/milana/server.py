@@ -239,7 +239,8 @@ class MilanaServer(StorageServer):
                 # An ABORT vote claims no durability; log in the
                 # background (no yield here: the vote must follow the
                 # validation verdict without an interleaving point).
-                self.sim.process(self.wal.append_txn(record, sync=False))
+                self._spawn_background_append(
+                    self.wal.append_txn(record, sync=False))
             return MilanaPrepareReply(vote="ABORT", reason=result.reason)
         record.status = PREPARED
         record.prepared_at = self.sim.now
@@ -279,6 +280,27 @@ class MilanaServer(StorageServer):
                 tracer.on_release(("inflight", self.name, record.txn_id))
             done.succeed()
         return MilanaPrepareReply(vote="SUCCESS")
+
+    def _spawn_background_append(self, gen):
+        """Spawn a fire-and-forget WAL append with its failure routed to
+        the node's error counter.
+
+        Nothing ever waits on the spawned process, so without this an
+        exception inside the append would be an unhandled failure and
+        :meth:`Event._fire` would raise it straight into
+        ``Simulator.run``, killing the whole simulation — worse than
+        dropping it. Count it on ``handler_errors`` (the same place a
+        handler fault lands) and defuse.
+        """
+        proc = self.sim.process(gen)
+
+        def _observe(event) -> None:
+            if event.ok is False:
+                event.defused = True
+                self.node.handler_errors += 1
+
+        proc.callbacks.append(_observe)
+        return proc
 
     # -- two-phase commit: decide ----------------------------------------------------------
 

@@ -133,7 +133,8 @@ def run_trial(spec: TrialSpec,
 
 def explore(workload: str, trials: int = 25, seed: int = 0,
             policy: Optional[str] = None,
-            progress: Optional[Callable] = None) -> ExplorationResult:
+            progress: Optional[Callable[[TrialSpec, TrialResult],
+                                        None]] = None) -> ExplorationResult:
     """Bounded exploration: ``trials`` runs, deduplicated witnesses.
 
     ``policy`` forces every trial onto one tie-break policy; the default

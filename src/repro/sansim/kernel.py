@@ -119,6 +119,11 @@ class TracedSimulator(Simulator):
 
     __slots__ = ("tracer", "tie_break")
 
+    #: Narrowed from the base class seam (``Optional[Any]``): a traced
+    #: simulator always carries a live runtime and policy.
+    tracer: SanitizerRuntime
+    tie_break: TieBreakPolicy
+
     def __init__(self, tracer: Optional[SanitizerRuntime] = None,
                  tie_break: Optional[TieBreakPolicy] = None,
                  start_time: float = 0.0) -> None:
@@ -127,7 +132,7 @@ class TracedSimulator(Simulator):
         self.tie_break = (tie_break if tie_break is not None
                           else FifoTieBreak())
 
-    def process(self, generator: Generator) -> TracedProcess:
+    def process(self, generator: Generator[Any, Any, Any]) -> TracedProcess:
         return TracedProcess(self, generator)
 
     # -- tie-aware pop ----------------------------------------------------

@@ -22,7 +22,7 @@ perturbs workload randomness).
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence, Tuple
+from typing import Any, Optional, Protocol, Sequence, Tuple
 
 from ..sim.rng import SeededRng
 from .runtime import SanitizerRuntime
@@ -44,7 +44,7 @@ class TieBreakPolicy(Protocol):
 
     name: str
 
-    def choose(self, tied: Sequence[Tuple]) -> int:
+    def choose(self, tied: Sequence[Tuple[float, int, Any]]) -> int:
         """Return an index into ``tied`` (entries are ``(time, seq,
         event)`` in ascending sequence order)."""
         ...  # pragma: no cover - protocol
@@ -55,7 +55,7 @@ class FifoTieBreak:
 
     name = "fifo"
 
-    def choose(self, tied: Sequence[Tuple]) -> int:
+    def choose(self, tied: Sequence[Tuple[float, int, Any]]) -> int:
         return 0
 
 
@@ -68,7 +68,7 @@ class RandomTieBreak:
         self.seed = seed
         self._rng = SeededRng(seed, "sansim/random")
 
-    def choose(self, tied: Sequence[Tuple]) -> int:
+    def choose(self, tied: Sequence[Tuple[float, int, Any]]) -> int:
         return self._rng.randint(0, len(tied) - 1)
 
 
@@ -92,7 +92,7 @@ class TargetedTieBreak:
         self._rng = SeededRng(seed, "sansim/targeted")
         self._tracer = tracer
 
-    def choose(self, tied: Sequence[Tuple]) -> int:
+    def choose(self, tied: Sequence[Tuple[float, int, Any]]) -> int:
         if len(tied) > 1:
             hot_seqs = self._tracer.hot_seqs
             if hot_seqs:

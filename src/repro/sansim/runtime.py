@@ -85,8 +85,8 @@ class _Context:
         self.resumes = 0
         self.section = label
         #: location -> (write token at read, resumes at read, read Site)
-        self.guards: Dict[Tuple, Tuple[int, int, Site]] = {}
-        self.held_locks: Set[Tuple] = set()
+        self.guards: Dict[Tuple[Any, ...], Tuple[int, int, Site]] = {}
+        self.held_locks: Set[Tuple[Any, ...]] = set()
         self.hot = False
 
 
@@ -104,7 +104,7 @@ class _Location:
         self.writer_clock: Optional[Dict[int, int]] = None
         self.writer_site: Optional[Site] = None
         self.writer_section = ""
-        self.writer_locks: FrozenSet[Tuple] = frozenset()
+        self.writer_locks: FrozenSet[Tuple[Any, ...]] = frozenset()
         self.writer_ctx: Optional[_Context] = None
         self.writers: Set[int] = set()
         self.exclusive = False
@@ -144,7 +144,7 @@ class SanitizerRuntime:
         #: id(message) -> clock carried by an in-flight delivered message
         #: (tagged at inbox delivery, adopted at dispatch).
         self._payload_clocks: Dict[int, Dict[int, int]] = {}
-        self._locations: Dict[Tuple, _Location] = {}
+        self._locations: Dict[Tuple[Any, ...], _Location] = {}
         self._cwd = str(Path.cwd())
 
     # -- kernel hooks (called by TracedSimulator / TracedProcess) ---------
@@ -237,7 +237,7 @@ class SanitizerRuntime:
         ctx.section = kind
         ctx.guards.clear()
 
-    def on_read(self, location: Tuple) -> None:
+    def on_read(self, location: Tuple[Any, ...]) -> None:
         self.reads += 1
         ctx = self._current
         if ctx is self._root:
@@ -252,7 +252,7 @@ class SanitizerRuntime:
         if canonical_location(location) in self.hot_locations:
             ctx.hot = True
 
-    def on_write(self, location: Tuple, exclusive: bool = False,
+    def on_write(self, location: Tuple[Any, ...], exclusive: bool = False,
                  relaxed: bool = False) -> None:
         self.writes += 1
         ctx = self._current
@@ -300,15 +300,15 @@ class SanitizerRuntime:
         # section are not "stale" because of this one.
         ctx.guards[location] = (loc.token, ctx.resumes, site)
 
-    def on_acquire(self, lock: Tuple) -> None:
+    def on_acquire(self, lock: Tuple[Any, ...]) -> None:
         self._current.held_locks.add(lock)
 
-    def on_release(self, lock: Tuple) -> None:
+    def on_release(self, lock: Tuple[Any, ...]) -> None:
         self._current.held_locks.discard(lock)
 
     # -- checks -----------------------------------------------------------
 
-    def _check_stale_guard(self, location: Tuple, canon: str,
+    def _check_stale_guard(self, location: Tuple[Any, ...], canon: str,
                            loc: _Location, ctx: _Context,
                            site: Site) -> None:
         guard = ctx.guards.get(location)
@@ -337,7 +337,7 @@ class SanitizerRuntime:
             acting=site, prior=guard_site, foreign=foreign,
             section=ctx.section, detail=repr(location)), canon, ctx)
 
-    def _check_unordered_write(self, location: Tuple, canon: str,
+    def _check_unordered_write(self, location: Tuple[Any, ...], canon: str,
                                loc: _Location, ctx: _Context, site: Site,
                                relaxed: bool) -> None:
         if loc.writer_pid is None or loc.writer_ctx is ctx:

@@ -43,7 +43,7 @@ class Site:
         }
 
 
-def canonical_location(location: Tuple) -> str:
+def canonical_location(location: Tuple[Any, ...]) -> str:
     """Instance-free display form of a tracked location.
 
     ``("txn", "srv-0-0", "c1.17")`` canonicalizes to ``txn@srv-0-0``:

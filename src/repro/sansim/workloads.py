@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import importlib.util
 from pathlib import Path
+from types import ModuleType
 from typing import Callable, Dict
 
 from ..harness.cluster import Cluster, ClusterConfig
 from ..harness.runner import run_retwis_on_cluster
+from ..sim.core import Simulator
 from ..workloads import YcsbInstance
 
 __all__ = [
@@ -39,6 +41,10 @@ __all__ = [
 
 #: Paths (relative to the repository root) simlint analyzes when
 #: reconciling each workload's witnesses against static findings.
+#: A trial's kernel factory: zero-arg, returns the (traced) simulator
+#: every component of the exercised cluster shares.
+_SimFactory = Callable[[], Simulator]
+
 STATIC_SCOPES: Dict[str, str] = {
     "retwis": "src/repro",
     "ycsb": "src/repro",
@@ -46,19 +52,20 @@ STATIC_SCOPES: Dict[str, str] = {
 }
 
 
-def _smoke_config(simulator_factory, seed: int) -> ClusterConfig:
+def _smoke_config(simulator_factory: _SimFactory,
+                  seed: int) -> ClusterConfig:
     return ClusterConfig(
         num_shards=1, replicas_per_shard=3, num_clients=3,
         backend="dram", clock_preset="ptp-sw", seed=seed,
         populate_keys=120, simulator_factory=simulator_factory)
 
 
-def run_retwis_smoke(simulator_factory: Callable) -> None:
+def run_retwis_smoke(simulator_factory: _SimFactory) -> None:
     run_retwis_on_cluster(_smoke_config(simulator_factory, seed=11),
                           alpha=0.9, duration=0.02, warmup=0.005)
 
 
-def run_ycsb_smoke(simulator_factory: Callable) -> None:
+def run_ycsb_smoke(simulator_factory: _SimFactory) -> None:
     cluster = Cluster(_smoke_config(simulator_factory, seed=13))
     instances = [
         YcsbInstance(cluster.sim, client, cluster.populated_keys,
@@ -83,31 +90,31 @@ def fixture_path() -> Path:
             / "ctp_race.py")
 
 
-def _load_fixture():
+def _load_fixture() -> ModuleType:
     path = fixture_path()
     if not path.exists():
         raise FileNotFoundError(
             f"ctp-race fixture not found at {path}; the sansim seeded-bug "
             f"workload needs the repository checkout")
     spec = importlib.util.spec_from_file_location("sansim_ctp_race", path)
+    assert spec is not None and spec.loader is not None
     module = importlib.util.module_from_spec(spec)
-    assert spec.loader is not None
     spec.loader.exec_module(module)
     return module
 
 
-def run_ctp_race(simulator_factory: Callable) -> None:
+def run_ctp_race(simulator_factory: _SimFactory) -> None:
     """The seeded pre-PR-4 CTP bug, racy server variant."""
     _load_fixture().run_scenario(simulator_factory, racy=True)
 
 
-def run_ctp_race_safe(simulator_factory: Callable) -> None:
+def run_ctp_race_safe(simulator_factory: _SimFactory) -> None:
     """The same scenario against the real (fixed) MilanaServer: the
     specificity control — it must produce zero witnesses."""
     _load_fixture().run_scenario(simulator_factory, racy=False)
 
 
-WORKLOADS: Dict[str, Callable[[Callable], None]] = {
+WORKLOADS: Dict[str, Callable[[_SimFactory], None]] = {
     "retwis": run_retwis_smoke,
     "ycsb": run_ycsb_smoke,
     "ctp-race": run_ctp_race,

@@ -57,7 +57,9 @@ class Simulator:
     #: plain class attribute, so instrumentation sites in the protocol
     #: layers pay exactly one attribute load to observe ``None`` and the
     #: hot loops below stay byte-identical to the PR 5 fast path.
-    tracer = None
+    #: Typed ``Any`` rather than the concrete runtime: the sim layer
+    #: must not import upward into ``repro.sansim``.
+    tracer: Optional[Any] = None
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)

@@ -1,0 +1,39 @@
+"""DUR001 fixture: the ack-before-fsync seam from the durability test.
+
+Not importable code — a miniature SEMEL-shaped put handler that
+hardcodes what the lossy ``sync_semel=False`` control configuration in
+``tests/test_durability.py`` resolves to at the append site: the write
+is applied and logged with ``sync=False``, the handler suspends on
+replication (the crash window the nemesis A/B pair exercises), and the
+reply claims the write was applied. A whole-shard crash inside that
+window erases the WAL tail and the acked write with it.
+"""
+
+
+class SemelPutReply:
+    def __init__(self, applied=False, duplicate=False):
+        self.applied = applied
+        self.duplicate = duplicate
+
+
+class LossyPutServer:
+    """Seeds DUR001: applied=True rides on a background fsync."""
+
+    def __init__(self, sim, node, backend, wal):
+        self.sim = sim
+        self.node = node
+        self.backend = backend
+        self.wal = wal
+        self.node.register("semel.put", self._handle_put)
+
+    def _handle_put(self, request):
+        yield self.backend.put(request.key, request.value,
+                               request.version)
+        yield from self.wal.append_put(
+            request.key, request.value, request.version, sync=False)
+        yield from self._replicate(request)
+        return SemelPutReply(applied=True, duplicate=False)  # DUR001
+
+    def _replicate(self, request):
+        yield self.node.call("backup-1", "semel.replicate", request,
+                             timeout=0.01)  # the lost-write crash window

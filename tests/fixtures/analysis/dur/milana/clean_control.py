@@ -1,0 +1,44 @@
+"""Clean control: the same handler shapes done right — configured-sync
+append before the ack, ``.pop(key, None)`` cleanup, payloads derived
+from request fields, only replayable record kinds. Zero DUR findings.
+"""
+
+
+class SemelDeleteReply:
+    def __init__(self, applied=False):
+        self.applied = applied
+
+
+class DurableDeleteServer:
+    """Every DUR invariant held: fsync-before-ack, logged mutations,
+    crash-safe cleanup, deterministic payloads, replayable kinds."""
+
+    def __init__(self, sim, node, backend, wal):
+        self.sim = sim
+        self.node = node
+        self.backend = backend
+        self.wal = wal
+        self._inflight_puts = {}
+        self.node.register("semel.delete", self._handle_delete)
+
+    def _handle_delete(self, request):
+        done = self.sim.event()
+        self._inflight_puts[request.key] = done
+        try:
+            yield self.backend.delete(request.key)
+            yield from self.wal.append_delete(
+                request.key, sync=self.wal.config.sync_semel)
+            yield from self._replicate(request)
+        finally:
+            # pop, not del: the crash-kill interrupt may land here after
+            # the table was replaced.
+            self._inflight_puts.pop(request.key, None)
+            done.succeed()
+        return SemelDeleteReply(applied=True)
+
+    def _replicate(self, request):
+        yield self.node.call("backup-1", "semel.replicate", request,
+                             timeout=0.01)
+
+    def crash(self):
+        self._inflight_puts = {}

@@ -1,0 +1,38 @@
+"""DUR003 fixture: post-suspend ``finally`` cleanup that indexes
+crash-wiped state with a bare ``del``. A crash-kill interrupt lands in
+the finally block *after* ``crash`` replaced ``_inflight_puts``, so the
+key is gone and the bare ``del`` raises KeyError into the interrupt.
+"""
+
+
+class Ack:
+    pass
+
+
+class FragileCleanupServer:
+    """Seeds DUR003: bare del in a post-suspend finally block."""
+
+    def __init__(self, sim, node, backend, wal):
+        self.sim = sim
+        self.node = node
+        self.backend = backend
+        self.wal = wal
+        self._inflight_puts = {}
+        self.node.register("semel.replicate", self._handle_replicate)
+
+    def _handle_replicate(self, request):
+        key = (request.key, request.version)
+        done = self.sim.event()
+        self._inflight_puts[key] = done
+        try:
+            yield self.backend.put(request.key, request.value,
+                                   request.version)
+            yield from self.wal.append_put(
+                request.key, request.value, request.version, sync=True)
+        finally:
+            del self._inflight_puts[key]  # DUR003: key gone after crash
+            done.succeed()
+        return Ack()
+
+    def crash(self):
+        self._inflight_puts = {}

@@ -1,0 +1,30 @@
+"""DUR002 fixture: durable state mutated on a WAL-enabled path with no
+append anywhere on the path — replay after an amnesia crash rebuilds a
+transaction table that never heard of this record.
+"""
+
+
+class MilanaDecideReply:
+    def __init__(self, status=None):
+        self.status = status
+
+
+class ForgetfulTable:
+    """Seeds DUR002: the decide lands in the table but never in the log."""
+
+    def __init__(self, sim, node, wal):
+        self.sim = sim
+        self.node = node
+        self.wal = wal
+        self.txn_table = {}
+        self.node.register("milana.decide", self._handle_decide)
+
+    def _handle_decide(self, request):
+        record = request.record
+        self.txn_table[record.txn_id] = record  # DUR002: never logged
+        yield from self._replicate(record)
+        return MilanaDecideReply(status="COMMITTED")
+
+    def _replicate(self, record):
+        yield self.node.call("backup-1", "milana.replicate_txn", record,
+                             timeout=0.01)

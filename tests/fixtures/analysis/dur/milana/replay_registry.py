@@ -1,0 +1,38 @@
+"""DUR005 fixture: a record kind appended with no replay arm. The
+checkpoint records are durably written on every round and then silently
+dropped by ``replay_wal``, whose dispatch only knows put/delete/txn.
+"""
+
+SEMEL_PUT = "semel.put"
+SEMEL_DELETE = "semel.delete"
+TXN_RECORD = "txn"
+CHECKPOINT = "checkpoint"
+
+
+class RestartableServer:
+    """Seeds DUR005: appends CHECKPOINT, replays only put/delete/txn."""
+
+    def __init__(self, sim, node, backend, wal):
+        self.sim = sim
+        self.node = node
+        self.backend = backend
+        self.wal = wal
+        self.txn_table = {}
+
+    def checkpoint_daemon(self):
+        while True:
+            yield self.sim.timeout(1.0)
+            yield from self.wal.append(
+                CHECKPOINT, dict(self.txn_table),
+                sync=True)  # DUR005: no replay arm for this kind
+
+    def replay_wal(self):
+        for entry in self.wal.durable_records():
+            if entry.kind == SEMEL_PUT:
+                key, value, version = entry.payload
+                yield self.backend.put(key, value, version)
+            elif entry.kind == SEMEL_DELETE:
+                (key,) = entry.payload
+                yield self.backend.delete(key)
+            elif entry.kind == TXN_RECORD:
+                self.txn_table[entry.payload.txn_id] = entry.payload

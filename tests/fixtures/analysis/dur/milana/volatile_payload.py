@@ -1,0 +1,31 @@
+"""DUR004 fixture: a WAL record payload stamped with the wall clock
+through a helper — the DET101 taint chain. Replay reconstructs a
+different stamp than the run that crashed, so recovery diverges.
+"""
+
+import time
+
+
+class Ack:
+    pass
+
+
+class TimestampingServer:
+    """Seeds DUR004: the delete record carries a wall-clock stamp."""
+
+    def __init__(self, sim, node, backend, wal):
+        self.sim = sim
+        self.node = node
+        self.backend = backend
+        self.wal = wal
+        self.node.register("semel.delete", self._handle_delete)
+
+    def _handle_delete(self, request):
+        yield self.backend.delete(request.key)
+        yield from self.wal.append(
+            "semel.delete", (request.key, self._stamp()),
+            sync=True)  # DUR004: payload tainted via _stamp
+        return Ack()
+
+    def _stamp(self):
+        return time.time()

@@ -42,7 +42,7 @@ def run_on(tmp_path, source, name="snippet.py", **kwargs):
 
 
 class TestGoldenFindings:
-    @pytest.mark.parametrize("family", ["atm", "pro", "det"])
+    @pytest.mark.parametrize("family", ["atm", "pro", "det", "dur"])
     def test_family_matches_golden(self, family):
         root = FIXTURES / family
         golden = json.loads((root / "golden.json").read_text())
@@ -66,12 +66,203 @@ class TestGoldenFindings:
         for family, rules in [("atm", {"ATM001", "ATM002"}),
                               ("pro", {"PRO001", "PRO002", "PRO003",
                                        "PRO004"}),
-                              ("det", {"DET101"})]:
+                              ("det", {"DET101"}),
+                              ("dur", {"DUR001", "DUR002", "DUR003",
+                                       "DUR004", "DUR005"})]:
             golden = json.loads(
                 (FIXTURES / family / "golden.json").read_text())
             fired = {entry["rule"] for entry in golden["findings"]}
             assert fired, family
             assert fired <= rules, family
+
+
+# -- DUR: crash-consistency rules ------------------------------------------
+
+
+class TestDurRules:
+    """Unit tests for the DUR family over miniature projects; the golden
+    snapshot covers the fixture corpus end to end."""
+
+    HANDLER = """\
+        class SemelPutReply:
+            def __init__(self, applied=False):
+                self.applied = applied
+
+
+        class Server:
+            def __init__(self, sim, node, backend, wal):
+                self.sim = sim
+                self.node = node
+                self.backend = backend
+                self.wal = wal
+                self.node.register("semel.put", self._handle_put)
+
+            def _handle_put(self, request):
+                yield self.backend.put(request.key, request.value,
+                                       request.version)
+                {append}
+                yield from self._replicate(request)
+                return SemelPutReply(applied={applied})
+
+            def _replicate(self, request):
+                yield self.node.call("b1", "semel.replicate", request,
+                                     timeout=0.01)
+    """
+
+    def _check(self, rule_id, source):
+        project = make_project({"milana/mod.py": source})
+        return list(all_rules()[rule_id].check_project(project))
+
+    def test_dur001_nosync_append_before_claiming_ack(self):
+        source = self.HANDLER.format(
+            append=("yield from self.wal.append_put(\n"
+                    "            request.key, request.value,"
+                    " request.version, sync=False)"),
+            applied="True")
+        findings = self._check("DUR001", source)
+        assert len(findings) == 1
+        assert "sync=False" in findings[0].message
+        assert "_replicate" in findings[0].message
+
+    def test_dur001_config_sync_append_is_clean(self):
+        source = self.HANDLER.format(
+            append=("yield from self.wal.append_put(\n"
+                    "            request.key, request.value,"
+                    " request.version,\n"
+                    "            sync=self.wal.config.sync_semel)"),
+            applied="True")
+        assert self._check("DUR001", source) == []
+
+    def test_dur001_non_claiming_reply_is_exempt(self):
+        # applied=False renounces durability: nothing acked can be lost.
+        source = self.HANDLER.format(
+            append=("yield from self.wal.append_put(\n"
+                    "            request.key, request.value,"
+                    " request.version, sync=False)"),
+            applied="False")
+        assert self._check("DUR001", source) == []
+
+    def test_dur002_unlogged_mutation_on_wal_enabled_path(self):
+        source = self.HANDLER.format(append="pass", applied="True")
+        findings = self._check("DUR002", source)
+        assert len(findings) == 1
+        assert "no WAL append" in findings[0].message
+
+    def test_dur002_logged_mutation_is_clean(self):
+        source = self.HANDLER.format(
+            append=("yield from self.wal.append_put(\n"
+                    "            request.key, request.value,"
+                    " request.version, sync=False)"),
+            applied="True")
+        assert self._check("DUR002", source) == []
+
+    def test_dur002_wal_free_class_is_out_of_scope(self):
+        # No self.wal anywhere: not a WAL-enabled surface, no debt.
+        source = self.HANDLER.format(
+            append="pass", applied="True").replace(
+            "                self.wal = wal\n", "")
+        assert self._check("DUR002", source) == []
+
+    DUR003 = """\
+        class Server:
+            def __init__(self, sim):
+                self.sim = sim
+                self._inflight = {{}}
+
+            def _handle(self, request):
+                try:
+                    yield self.sim.timeout(0.01)
+                finally:
+                    {cleanup}
+                return None
+
+            def crash(self):
+                self._inflight = {{}}
+    """
+
+    def test_dur003_pop_without_default(self):
+        findings = self._check(
+            "DUR003",
+            self.DUR003.format(cleanup="self._inflight.pop(request.key)"))
+        assert len(findings) == 1
+        assert ".pop(key, None)" in findings[0].message
+
+    def test_dur003_pop_with_default_is_clean(self):
+        findings = self._check(
+            "DUR003",
+            self.DUR003.format(
+                cleanup="self._inflight.pop(request.key, None)"))
+        assert findings == []
+
+    def test_dur003_only_applies_to_crashable_classes(self):
+        source = self.DUR003.format(
+            cleanup="self._inflight.pop(request.key)")
+        source = source.replace(
+            "            def crash(self):\n"
+            "                self._inflight = {}\n", "")
+        assert self._check("DUR003", source) == []
+
+    def test_dur004_direct_wallclock_payload(self):
+        findings = self._check("DUR004", """\
+            import time
+
+
+            class Server:
+                def flush_daemon(self):
+                    while True:
+                        yield self.sim.timeout(1.0)
+                        yield from self.wal.append(
+                            "txn", ("stamp", time.time()), sync=True)
+        """)
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+
+    def test_dur005_dynamic_kind_is_skipped(self):
+        # A pass-through kind variable cannot be cross-checked.
+        findings = self._check("DUR005", """\
+            KNOWN = "known"
+
+
+            class Server:
+                def log(self, kind, payload):
+                    yield from self.wal.append(kind, payload, sync=True)
+
+                def replay_wal(self):
+                    for entry in self.wal.durable_records():
+                        if entry.kind == KNOWN:
+                            yield self.backend.put(entry.payload)
+        """)
+        assert findings == []
+
+    def test_dur005_silent_without_a_replay_dispatcher(self):
+        # Partial analyses must not indict kinds whose arms they never read.
+        findings = self._check("DUR005", """\
+            class Server:
+                def log(self, payload):
+                    yield from self.wal.append("orphan", payload,
+                                               sync=True)
+        """)
+        assert findings == []
+
+    def test_dur001_counterpart_names_the_dynamic_twin(self):
+        rule = all_rules()["DUR001"]
+        assert "test_durability" in rule.counterpart
+
+    def test_dur001_fixture_window_matches_lost_write_witness(self):
+        """The acceptance coupling: the DUR001 golden finding's suspend
+        window is the replication wait — the exact seam where the lossy
+        nemesis control in test_durability.py loses the acked write."""
+        golden = json.loads(
+            (FIXTURES / "dur" / "golden.json").read_text())
+        entry = next(e for e in golden["findings"]
+                     if e["rule"] == "DUR001")
+        fixture = FIXTURES / "dur" / "milana" / "ack_before_fsync.py"
+        lines = fixture.read_text().splitlines()
+        witness = next(i for i, line in enumerate(lines, 1)
+                       if "lost-write crash window" in line)
+        # The suspend is the multi-line yield ending at the comment.
+        assert f"line {witness - 1} loses the acked write" \
+            in entry["message"]
 
 
 # -- project model ---------------------------------------------------------

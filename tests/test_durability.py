@@ -36,7 +36,7 @@ from repro.milana import (
 )
 from repro.milana.client import MilanaClient
 from repro.sim import Simulator
-from repro.wire import TxnRecordWire
+from repro.wire import MilanaPrepare, TxnRecordWire
 
 
 def _drain(generator):
@@ -375,6 +375,73 @@ class TestCrashPlacement:
         report = run_audit(cluster)
         assert report.passed, f"{placement}:\n{report.summary()}"
         assert report.committed_txns > 0
+
+
+class TestBackgroundAppendFailure:
+    """The fire-and-forget abort-path append must not be able to kill
+    the simulation: nothing ever waits on the spawned process, so an
+    unhandled failure inside it would propagate straight out of
+    ``Simulator.run``. The server defuses it and counts it on the
+    node's ``handler_errors`` instead."""
+
+    @staticmethod
+    def _prepare(txn_id, key, value, ts_commit):
+        return MilanaPrepare(record=TxnRecordWire(
+            txn_id=txn_id, client_id=9, client_name="tester",
+            ts_commit=ts_commit, reads=(), writes=((key, value),),
+            participants=("shard0",), status=PREPARED, prepared_at=0.0))
+
+    def test_failed_abort_path_append_is_counted_not_fatal(self):
+        cluster = make_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+        server = cluster.servers["srv-0-0"]
+        real_append = server.wal.append_txn
+
+        def flaky_append(record, sync=True):
+            if sync is not False:
+                return real_append(record, sync=sync)
+
+            def boom():
+                raise RuntimeError("disk full")
+                yield  # pragma: no cover - generator shape only
+
+            return boom()
+
+        server.wal.append_txn = flaky_append
+        # Block key:0, then a conflicting prepare takes the validation
+        # failure path: ABORT vote plus the background sync=False append.
+        sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare",
+            self._prepare("blocker", "key:0", "x", sim.now + 1e-3)))
+        before = server.node.handler_errors
+        reply = sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare",
+            self._prepare("loser", "key:0", "y", sim.now + 2e-3)))
+        assert reply.vote == "ABORT"
+        # Pre-fix, the RuntimeError escapes Simulator.run before this
+        # point; post-fix it lands on the handler error counter.
+        sim.run(until=sim.now + 0.1)
+        assert server.node.handler_errors == before + 1
+
+    def test_healthy_abort_path_append_stays_quiet(self):
+        cluster = make_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+        server = cluster.servers["srv-0-0"]
+        sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare",
+            self._prepare("blocker", "key:0", "x", sim.now + 1e-3)))
+        reply = sim.run_until_event(client.node.call(
+            "srv-0-0", "milana.prepare",
+            self._prepare("loser", "key:0", "y", sim.now + 2e-3)))
+        assert reply.vote == "ABORT"
+        sim.run(until=sim.now + 0.1)
+        assert server.node.handler_errors == 0
+        # The aborted record became durable once its fsync landed.
+        assert any(entry.kind == TXN_RECORD
+                   and entry.payload.txn_id == "loser"
+                   for entry in server.wal.durable_records())
 
 
 def _shard_wipe(cluster, rng, start, duration):
