@@ -6,12 +6,13 @@ object; if the skew epsilon greatly exceeds the device write latency t_w,
 spurious rejections appear — and faster devices suffer at smaller skews.
 """
 
-from repro.harness import run_figure1
+from repro.sweep import default_jobs, sweep_experiment
 
 
 def test_figure1_clock_skew_impact(benchmark, save_result):
     result = benchmark.pedantic(
-        lambda: run_figure1(
+        lambda: sweep_experiment(
+            "figure1", jobs=default_jobs(),
             write_latencies=(0.2e-6, 100e-6),
             skews=(0.0, 1e-6, 10e-6, 100e-6, 1e-3),
             rounds=120),

@@ -7,12 +7,13 @@ consistent snapshot and commit, where a single-version FTL forces them to
 abort.
 """
 
-from repro.harness import run_figure6
+from repro.sweep import default_jobs, sweep_experiment
 
 
 def test_figure6_multiversion_cuts_aborts(benchmark, save_result):
     result = benchmark.pedantic(
-        lambda: run_figure6(
+        lambda: sweep_experiment(
+            "figure6", jobs=default_jobs(),
             client_counts=(2, 8, 16),
             alphas=(0.5, 0.95),
             num_keys=300,

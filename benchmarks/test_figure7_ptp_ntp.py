@@ -9,12 +9,13 @@ Paper claims (§5.2):
   writes demand lower clock skew (the Figure 1 relationship).
 """
 
-from repro.harness import run_figure7
+from repro.sweep import default_jobs, sweep_experiment
 
 
 def test_figure7_ptp_beats_ntp(benchmark, save_result):
     result = benchmark.pedantic(
-        lambda: run_figure7(
+        lambda: sweep_experiment(
+            "figure7", jobs=default_jobs(),
             alphas=(0.5, 0.8),
             clock_presets=("ptp-sw", "ntp"),
             backends=("dram", "vftl", "mftl"),

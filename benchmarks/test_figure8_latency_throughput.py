@@ -7,12 +7,13 @@ lower latency on the 75 %-read-only Retwis mix; MFTL modestly outperforms
 VFTL; VFTL *with* local validation beats MFTL *without* it.
 """
 
-from repro.harness import run_figure8
+from repro.sweep import default_jobs, sweep_experiment
 
 
 def test_figure8_local_validation_gains(benchmark, save_result):
     result = benchmark.pedantic(
-        lambda: run_figure8(
+        lambda: sweep_experiment(
+            "figure8", jobs=default_jobs(),
             client_counts=(8, 24),
             backends=("dram", "vftl", "mftl"),
             local_validation=(True, False),

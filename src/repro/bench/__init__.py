@@ -36,6 +36,7 @@ from .macro import bench_figure8_point, bench_retwis, bench_ycsb
 from .runner import (
     BenchResult,
     check_against_baseline,
+    host_metadata,
     load_report,
     run_suite,
     write_report,
@@ -53,6 +54,7 @@ __all__ = [
     "bench_timeout_chain",
     "bench_ycsb",
     "check_against_baseline",
+    "host_metadata",
     "load_report",
     "run_suite",
     "schedule_fingerprint",

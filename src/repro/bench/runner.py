@@ -12,6 +12,8 @@ suite selection, optional profiling, JSON reports, and the
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -21,13 +23,19 @@ __all__ = [
     "REPORT_SCHEMA",
     "check_against_baseline",
     "host_clock",
+    "host_metadata",
     "load_report",
     "run_suite",
     "write_report",
 ]
 
 #: Bumped when the BENCH_kernel.json layout changes incompatibly.
-REPORT_SCHEMA = 1
+#: Schema 2 added the ``host`` metadata block; schema-1 reports are
+#: still loadable (they simply carry no host information).
+REPORT_SCHEMA = 2
+
+#: Schemas :func:`load_report` accepts.
+_SUPPORTED_SCHEMAS = (1, 2)
 
 
 def host_clock() -> float:
@@ -144,12 +152,29 @@ def run_suite(
 # -- reports ---------------------------------------------------------------
 
 
+def host_metadata() -> Dict[str, Any]:
+    """Where a report was measured, so cross-machine diffs are
+    explainable before anyone chases a phantom regression.
+
+    Host-side introspection only (like :func:`host_clock`): nothing
+    simulated may read these.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def write_report(results: Sequence[BenchResult], path: str,
                  quick: bool = False) -> None:
     """Write ``BENCH_kernel.json``-style report to ``path``."""
     document = {
         "schema": REPORT_SCHEMA,
         "quick": quick,
+        "host": host_metadata(),
         "results": [
             {
                 "name": result.name,
@@ -171,27 +196,55 @@ def load_report(path: str) -> Dict[str, Any]:
     """Load a report written by :func:`write_report`."""
     with open(path) as handle:
         document = json.load(handle)
-    if document.get("schema") != REPORT_SCHEMA:
+    if document.get("schema") not in _SUPPORTED_SCHEMAS:
         raise ValueError(
             f"unsupported bench report schema {document.get('schema')!r} "
-            f"in {path} (expected {REPORT_SCHEMA})")
+            f"in {path} (expected one of {_SUPPORTED_SCHEMAS})")
     return document
+
+
+def _tolerance_for(name: str, tolerance: float,
+                   tolerances: Optional[Dict[str, float]]) -> float:
+    """Per-benchmark tolerance: longest matching name prefix wins.
+
+    ``tolerances`` maps name prefixes (``"kernel/"``, ``"macro/"``, or
+    a full benchmark name for a single outlier) to fractional allowed
+    slowdowns; ``tolerance`` is the fallback for names no prefix
+    matches.
+    """
+    if not tolerances:
+        return tolerance
+    best: Optional[str] = None
+    for prefix in tolerances:
+        if name.startswith(prefix):
+            if best is None or len(prefix) > len(best):
+                best = prefix
+    return tolerances[best] if best is not None else tolerance
 
 
 def check_against_baseline(
     results: Sequence[BenchResult],
     baseline_path: str,
     tolerance: float = 0.30,
+    tolerances: Optional[Dict[str, float]] = None,
 ) -> List[str]:
     """Compare ``results`` to a checked-in baseline report.
 
     Returns a list of human-readable problems; empty means the run is
-    within ``tolerance`` (fractional allowed slowdown) of the baseline
-    on every benchmark both sides know about. Benchmarks only present
-    on one side are reported too, so the baseline cannot silently rot.
+    within tolerance (fractional allowed slowdown) of the baseline on
+    every benchmark both sides know about. Benchmarks only present on
+    one side are reported too, so the baseline cannot silently rot.
+
+    ``tolerance`` applies globally; ``tolerances`` overrides it per
+    name prefix (longest match wins), so the tight kernel
+    microbenchmarks and the noisier macro workloads can be gated at
+    different thresholds in one pass.
     """
-    if not 0.0 <= tolerance < 1.0:
-        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    for label, value in [("tolerance", tolerance)] + sorted(
+            (tolerances or {}).items()):
+        if not 0.0 <= value < 1.0:
+            raise ValueError(
+                f"{label} must be in [0, 1), got {value}")
     baseline = load_report(baseline_path)
     baseline_by_name = {entry["name"]: entry
                         for entry in baseline["results"]}
@@ -206,13 +259,14 @@ def check_against_baseline(
                 f"re-run `repro bench --quick --out {baseline_path}` "
                 f"to record it")
             continue
-        floor = entry["value"] * (1.0 - tolerance)
+        allowed = _tolerance_for(result.name, tolerance, tolerances)
+        floor = entry["value"] * (1.0 - allowed)
         if result.value < floor:
             slowdown = 1.0 - result.value / entry["value"]
             problems.append(
                 f"{result.name}: {result.value:,.0f} {result.metric} is "
                 f"{slowdown:.0%} below baseline {entry['value']:,.0f} "
-                f"(tolerance {tolerance:.0%})")
+                f"(tolerance {allowed:.0%})")
     for name in baseline_by_name:
         if name not in seen:
             problems.append(

@@ -31,6 +31,11 @@ Commands
     clock storms) under a live workload, heal, and audit the aftermath
     for serializability, lost committed writes, stuck PREPARED records
     and replica divergence. Exits non-zero if the audit fails.
+``sweep``
+    Run an experiment sweep (figures, ablations, nemesis scenarios,
+    sansim trials) across spawn-context worker processes with a
+    content-addressed cell cache (see ``repro.sweep``); the merged
+    report is byte-identical for every ``-j``.
 ``bench``
     Measure host-side kernel performance (events/s, timeouts/s, RPC
     round-trips/s, macro workload rates), optionally under cProfile,
@@ -224,6 +229,34 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "ntp"))
     nemesis.add_argument("--seed", type=int, default=42)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment sweep across worker processes with "
+             "cell caching (deterministic: merged reports are "
+             "byte-identical for every -j)")
+    sweep.add_argument("name", nargs="?", default=None,
+                       help="sweep to run (see --list)")
+    sweep.add_argument("--list", action="store_true", dest="list_sweeps",
+                       help="list available sweeps and exit")
+    sweep.add_argument("--scale", choices=("quick", "full"),
+                       default="quick")
+    sweep.add_argument("-j", "--jobs", type=int, default=None,
+                       help="worker processes (default: cores - 1)")
+    sweep.add_argument("--out", default=None, metavar="FILE",
+                       help="write the merged JSON report to FILE")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the cell cache")
+    sweep.add_argument("--refresh", action="store_true",
+                       help="recompute every cell, overwriting cached "
+                            "entries")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cell cache directory (default: "
+                            "benchmarks/results/cache)")
+    sweep.add_argument("--min-hit-rate", type=float, default=None,
+                       metavar="FRACTION",
+                       help="fail (exit 1) if the cache hit rate falls "
+                            "below FRACTION (used by CI sweep-smoke)")
+
     bench = sub.add_parser(
         "bench", help="measure kernel performance; gate regressions")
     bench.add_argument("--quick", action="store_true",
@@ -242,6 +275,12 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed fractional slowdown for --check "
                             "(default 0.30)")
+    bench.add_argument("--kernel-tolerance", type=float, default=None,
+                       help="override --tolerance for kernel/* "
+                            "microbenchmarks")
+    bench.add_argument("--macro-tolerance", type=float, default=None,
+                       help="override --tolerance for macro/* workloads "
+                            "(noisier; usually gated looser)")
     bench.add_argument("--fingerprints", action="store_true",
                        help="also print the schedule fingerprints that "
                             "gate kernel optimisations")
@@ -395,6 +434,51 @@ def _command_nemesis(args) -> int:
     return 0 if result.passed else 1
 
 
+def _command_sweep(args) -> int:
+    from .sweep import (
+        CellCache,
+        SweepWorkerError,
+        default_jobs,
+        run_sweep,
+        sweep_names,
+    )
+    from .sweep.cache import DEFAULT_CACHE_DIR
+
+    if args.list_sweeps or args.name is None:
+        print("sweeps:")
+        for name in sweep_names():
+            print(f"  {name}")
+        return 0 if args.list_sweeps else 2
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    cache = None
+    if not args.no_cache:
+        cache = CellCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    try:
+        result = run_sweep(
+            args.name, scale=args.scale, jobs=jobs, cache=cache,
+            refresh=args.refresh,
+            progress=lambda line: print(line, file=sys.stderr))
+    except SweepWorkerError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # Unknown sweep name / bad override: usage error, not a crash.
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    print(f"\n[{result.summary()}]", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(result.report_json())
+        print(f"[merged report written to {args.out}]", file=sys.stderr)
+    if (args.min_hit_rate is not None
+            and result.hit_rate < args.min_hit_rate):
+        print(f"sweep: cache hit rate {result.hit_rate:.0%} below "
+              f"required {args.min_hit_rate:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_bench(args) -> int:
     from .bench import (
         all_fingerprints,
@@ -414,8 +498,14 @@ def _command_bench(args) -> int:
         write_report(results, args.out, quick=args.quick)
         print(f"[report written to {args.out}]")
     if args.check:
-        problems = check_against_baseline(results, args.check,
-                                          tolerance=args.tolerance)
+        tolerances = {}
+        if args.kernel_tolerance is not None:
+            tolerances["kernel/"] = args.kernel_tolerance
+        if args.macro_tolerance is not None:
+            tolerances["macro/"] = args.macro_tolerance
+        problems = check_against_baseline(
+            results, args.check, tolerance=args.tolerance,
+            tolerances=tolerances or None)
         if args.only:
             # A filtered run legitimately misses baseline entries.
             problems = [problem for problem in problems
@@ -425,7 +515,7 @@ def _command_bench(args) -> int:
                 print(f"bench-check: {problem}")
             return 1
         print(f"bench-check: OK ({len(results)} benchmarks within "
-              f"{args.tolerance:.0%} of {args.check})")
+              f"tolerance of {args.check})")
     return 0
 
 
@@ -485,6 +575,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sansim": _command_sansim,
         "wire": _command_wire,
         "nemesis": _command_nemesis,
+        "sweep": _command_sweep,
         "bench": _command_bench,
     }
     return handlers[args.command](args)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 from ..sim.core import Simulator
-from ..sim.events import Event, Interrupt
+from ..sim.events import PENDING, Event, Interrupt
 from ..sim.process import Process
 from ..wire.registry import spec_for
 from ..wire.sizing import LENGTH_PREFIX_SIZE, SCALAR_SIZE, payload_size
@@ -148,9 +148,21 @@ class RpcNode:
             tracer.record("rpc", message, node=self.name, **fields)
 
     def _dispatch_loop(self):
+        # Hot-path note: this generator runs once per delivered message on
+        # every node. The loop-invariant lookups (inbox.get, the sim, the
+        # pending-waiter pop) are hoisted into locals; all are safe because
+        # crash/restart tears down this generator and builds a fresh one
+        # (``_pending`` is ``.clear()``-ed, never reassigned, so the bound
+        # ``pop`` stays valid across crashes within a single incarnation).
+        sim = self.sim
+        inbox_get = self._inbox.get
+        new_process = sim.process
+        track = self._track
+        serve = self._serve
+        pending_pop = self._pending.pop
         while True:
-            message = yield self._inbox.get()
-            tracer = self.sim.tracer
+            message = yield inbox_get()
+            tracer = sim.tracer
             if tracer is not None:
                 # Sanitizer seam: this loop is a courier for unrelated
                 # conversations — adopt the message's own causal clock
@@ -160,10 +172,10 @@ class RpcNode:
                 self._trace("request", method=message.method,
                             request_id=message.request_id,
                             src=message.src)
-                self._track(self.sim.process(self._serve(message)))
+                track(new_process(serve(message)))
             elif isinstance(message, Response):
-                waiter = self._pending.pop(message.request_id, None)
-                if waiter is not None and not waiter.triggered:
+                waiter = pending_pop(message.request_id, None)
+                if waiter is not None and waiter._value is PENDING:
                     waiter.succeed(message)
                 # else: duplicate or post-timeout response; drop.
             else:

@@ -143,11 +143,52 @@ class Simulator:
                     except IndexError:
                         break
                     self._now = time
-                    # Inlined Event._fire (see events.py). The
-                    # one-callback case dominates, so it skips the
-                    # defensive list swap: clearing before the call
-                    # keeps late appends dropped, exactly like the
-                    # swap does.
+                    # Same-timestamp batch drain: zero-latency cascades
+                    # (event chains, inbox handoffs) put long runs of
+                    # entries at one timestamp on the heap; the inner
+                    # loop pops them without re-storing ``_now`` per
+                    # event. Pops still come off the heap one at a time
+                    # in (time, seq) order, so the schedule is the one
+                    # the un-batched loop produces.
+                    while True:
+                        # Inlined Event._fire (see events.py). The
+                        # one-callback case dominates, so it skips the
+                        # defensive list swap: clearing before the call
+                        # keeps late appends dropped, exactly like the
+                        # swap does.
+                        event._processed = True
+                        callbacks = event.callbacks
+                        if callbacks:
+                            if len(callbacks) == 1:
+                                callback = callbacks[0]
+                                callbacks.clear()
+                                callback(event)
+                            else:
+                                event.callbacks = []
+                                for callback in callbacks:
+                                    callback(event)
+                        if event._ok is False:
+                            if not event.defused:
+                                raise event._value
+                        if heap and heap[0][0] == time:
+                            _, _, event = pop(heap)
+                        else:
+                            break
+            finally:
+                self.events_processed += (self._seq - seq0
+                                          + len0 - len(heap))
+            return
+        if until < self._now:
+            raise ValueError(
+                f"cannot run backwards: until={until} < now={self._now}")
+        try:
+            while heap and heap[0][0] <= until:
+                time, _, event = pop(heap)
+                self._now = time
+                # Same-timestamp batch drain plus the one-callback fast
+                # dispatch, exactly as in the ``until is None`` loop
+                # above (the equal-time guard implies ``<= until``).
+                while True:
                     event._processed = True
                     callbacks = event.callbacks
                     if callbacks:
@@ -162,25 +203,10 @@ class Simulator:
                     if event._ok is False:
                         if not event.defused:
                             raise event._value
-            finally:
-                self.events_processed += (self._seq - seq0
-                                          + len0 - len(heap))
-            return
-        if until < self._now:
-            raise ValueError(
-                f"cannot run backwards: until={until} < now={self._now}")
-        try:
-            while heap and heap[0][0] <= until:
-                time, _, event = pop(heap)
-                self._now = time
-                event._processed = True
-                callbacks = event.callbacks
-                if callbacks:
-                    event.callbacks = []
-                    for callback in callbacks:
-                        callback(event)
-                if event._ok is False and not event.defused:
-                    raise event._value
+                    if heap and heap[0][0] == time:
+                        _, _, event = pop(heap)
+                    else:
+                        break
         finally:
             self.events_processed += self._seq - seq0 + len0 - len(heap)
         if self._now < until:
@@ -198,24 +224,57 @@ class Simulator:
         seq0 = self._seq
         len0 = len(heap)
         try:
-            while not event._processed:
-                if not heap:
-                    raise RuntimeError(
-                        f"simulation queue drained before {event!r} fired")
-                if limit is not None and heap[0][0] > limit:
-                    raise RuntimeError(
-                        f"simulated time limit {limit} reached before "
-                        f"{event!r} fired")
-                time, _, popped = pop(heap)
-                self._now = time
-                popped._processed = True
-                callbacks = popped.callbacks
-                if callbacks:
-                    popped.callbacks = []
-                    for callback in callbacks:
-                        callback(popped)
-                if popped._ok is False and not popped.defused:
-                    raise popped._value
+            # The limit check is hoisted out of the hot loop by splitting
+            # it: the limit-free variant (the common case — every
+            # workload drain goes through it) pays no per-event
+            # ``is not None`` test, and both get the one-callback fast
+            # dispatch from the ``run`` loops.
+            if limit is None:
+                while not event._processed:
+                    if not heap:
+                        raise RuntimeError(
+                            f"simulation queue drained before {event!r} "
+                            f"fired")
+                    time, _, popped = pop(heap)
+                    self._now = time
+                    popped._processed = True
+                    callbacks = popped.callbacks
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callback = callbacks[0]
+                            callbacks.clear()
+                            callback(popped)
+                        else:
+                            popped.callbacks = []
+                            for callback in callbacks:
+                                callback(popped)
+                    if popped._ok is False and not popped.defused:
+                        raise popped._value
+            else:
+                while not event._processed:
+                    if not heap:
+                        raise RuntimeError(
+                            f"simulation queue drained before {event!r} "
+                            f"fired")
+                    if heap[0][0] > limit:
+                        raise RuntimeError(
+                            f"simulated time limit {limit} reached before "
+                            f"{event!r} fired")
+                    time, _, popped = pop(heap)
+                    self._now = time
+                    popped._processed = True
+                    callbacks = popped.callbacks
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callback = callbacks[0]
+                            callbacks.clear()
+                            callback(popped)
+                        else:
+                            popped.callbacks = []
+                            for callback in callbacks:
+                                callback(popped)
+                    if popped._ok is False and not popped.defused:
+                        raise popped._value
         finally:
             self.events_processed += self._seq - seq0 + len0 - len(heap)
         if event._ok is False:

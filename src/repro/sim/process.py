@@ -9,10 +9,16 @@ generator's return value, so processes can wait on each other.
 Hot-path note: :meth:`Process._resume` runs once per yield of every
 process in the system, so it reads event state through the underscored
 attributes and pushes onto the simulator heap directly, like the rest of
-the kernel (see events.py). ``repro.sansim`` carries a traced twin
-(``TracedProcess``) that duplicates this body with happens-before
+the kernel (see events.py). The constructor caches three bound methods
+in slots — ``generator.send``/``generator.throw`` (``_send``/``_throw``)
+and the resume callback itself (``_resume_cb``) — so the per-yield path
+neither re-binds generator methods nor allocates a fresh bound-method
+object for every ``callbacks.append``. ``repro.sansim`` carries a traced
+twin (``TracedProcess``) that duplicates this body with happens-before
 bookkeeping around it; keep the two in behavioural lockstep when
-changing the resume protocol.
+changing the resume protocol. (``_resume_cb`` binds the *overridden*
+``_resume`` for subclasses, and callback removal compares bound methods
+by ``==``, so the traced twin may keep appending ``self._resume``.)
 """
 
 from __future__ import annotations
@@ -28,7 +34,8 @@ __all__ = ["Process"]
 class Process(Event):
     """Drives a generator, suspending at each yielded event."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_resume_cb", "_send",
+                 "_throw")
 
     def __init__(self, sim: "Simulator", generator: Generator) -> None:  # noqa: F821
         if not hasattr(generator, "send"):
@@ -37,11 +44,14 @@ class Process(Event):
                 "forget to call the generator function?")
         super().__init__(sim)
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
+        resume = self._resume_cb = self._resume
         self._waiting_on: Event = None  # type: ignore[assignment]
         bootstrap = Event(sim)
         bootstrap._ok = True
         bootstrap._value = None
-        bootstrap.callbacks.append(self._resume)
+        bootstrap.callbacks.append(resume)
         heappush(sim._heap, (sim._now, sim._seq, bootstrap))
         sim._seq += 1
         self._waiting_on = bootstrap
@@ -67,7 +77,7 @@ class Process(Event):
         waiting_on = self._waiting_on
         if waiting_on is not None and not waiting_on._processed:
             try:
-                waiting_on.callbacks.remove(self._resume)
+                waiting_on.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
             if not waiting_on.callbacks:
@@ -78,7 +88,7 @@ class Process(Event):
                 # cannot raise into the run loop.
                 waiting_on.defused = True
         self._waiting_on = carrier
-        carrier.callbacks.append(self._resume)
+        carrier.callbacks.append(self._resume_cb)
         self.sim.schedule(carrier)
 
     # -- internals ----------------------------------------------------------
@@ -90,10 +100,10 @@ class Process(Event):
         self._waiting_on = None  # type: ignore[assignment]
         try:
             if trigger._ok:
-                target = self._generator.send(trigger._value)
+                target = self._send(trigger._value)
             else:
                 trigger.defused = True
-                target = self._generator.throw(trigger._value)
+                target = self._throw(trigger._value)
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
             return
@@ -127,13 +137,13 @@ class Process(Event):
                 target.defused = True
                 relay.defused = True
             self._waiting_on = relay
-            relay.callbacks.append(self._resume)
+            relay.callbacks.append(self._resume_cb)
             self.sim.schedule(relay)
         else:
             if target._ok is False:
                 target.defused = True
             self._waiting_on = target
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._resume_cb)
 
     def _crash(self, error: BaseException) -> None:
         """Terminate the generator with ``error`` and fail the process."""

@@ -9,6 +9,7 @@
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque
 
 from .events import Event
@@ -44,25 +45,50 @@ class Store:
         return tuple(self._items)
 
     def put(self, item: Any) -> Event:
-        """Offer ``item``; the returned event fires once it is buffered."""
-        event = Event(self.sim)
+        """Offer ``item``; the returned event fires once it is buffered.
+
+        Hot-path note: the immediate-accept branches inline
+        ``Event.succeed`` (state stores + direct heap push) — the events
+        here are freshly constructed, so the already-triggered guard the
+        public method carries cannot fire. Schedule order is identical:
+        the getter's event is pushed before the putter's, exactly as the
+        two ``succeed`` calls did.
+        """
+        sim = self.sim
+        event = Event(sim)
         if self._getters:
             getter = self._getters.popleft()
-            getter.succeed(item)
-            event.succeed()
+            getter._ok = True
+            getter._value = item
+            event._ok = True
+            event._value = None
+            seq = sim._seq
+            heappush(sim._heap, (sim._now, seq, getter))
+            heappush(sim._heap, (sim._now, seq + 1, event))
+            sim._seq = seq + 2
         elif len(self._items) < self.capacity:
             self._items.append(item)
-            event.succeed()
+            event._ok = True
+            event._value = None
+            seq = sim._seq
+            heappush(sim._heap, (sim._now, seq, event))
+            sim._seq = seq + 1
         else:
             self._putters.append((event, item))
         return event
 
     def get(self) -> Event:
         """Request the next item; the returned event fires with it."""
-        event = Event(self.sim)
+        sim = self.sim
+        event = Event(sim)
         if self._items:
-            event.succeed(self._items.popleft())
-            self._admit_putter()
+            event._ok = True
+            event._value = self._items.popleft()
+            seq = sim._seq
+            heappush(sim._heap, (sim._now, seq, event))
+            sim._seq = seq + 1
+            if self._putters:
+                self._admit_putter()
         else:
             self._getters.append(event)
         return event

@@ -1,0 +1,50 @@
+"""Deterministic parallel experiment sweeps (ROADMAP item 4, phase 2).
+
+The figures, ablations, nemesis scenarios and sansim trials are
+embarrassingly parallel across (experiment, config, seed) *cells*: every
+grid point builds a fresh :class:`~repro.sim.core.Simulator` and a fresh
+seeded RNG, so cells share no state and can run in any order — or in
+different processes — without changing a single bit of any result.
+
+This package exploits that:
+
+* :mod:`repro.sweep.cells` enumerates the cells of a named sweep in a
+  canonical order;
+* :mod:`repro.sweep.worker` runs one cell and returns a typed, picklable
+  :class:`CellResult` (an ExperimentResult-shaped payload plus a SHA-256
+  fingerprint of it);
+* :mod:`repro.sweep.cache` is a content-addressed on-disk cell cache
+  keyed by (cell config, code fingerprint), so re-running a sweep only
+  recomputes cells whose inputs actually changed;
+* :mod:`repro.sweep.runner` fans cells across cores with a
+  spawn-context ``ProcessPoolExecutor`` and merges results in canonical
+  cell order, making the merged report byte-identical to a serial run.
+
+Surfaced on the CLI as ``repro sweep`` (see docs/PERFORMANCE.md).
+"""
+
+from .cache import CellCache, code_fingerprint
+from .cells import SweepCell, sweep_cells, sweep_names
+from .runner import (
+    SweepResult,
+    SweepWorkerError,
+    default_jobs,
+    run_sweep,
+    sweep_experiment,
+)
+from .worker import CellResult, run_cell
+
+__all__ = [
+    "CellCache",
+    "CellResult",
+    "SweepCell",
+    "SweepResult",
+    "SweepWorkerError",
+    "code_fingerprint",
+    "default_jobs",
+    "run_cell",
+    "run_sweep",
+    "sweep_cells",
+    "sweep_experiment",
+    "sweep_names",
+]

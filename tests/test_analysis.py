@@ -501,6 +501,96 @@ class TestFlt001CrashStatePoke:
         assert findings == []
 
 
+class TestPar001ParallelismHygiene:
+    def test_positive_os_fork(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            import os
+            def spawn_worker():
+                return os.fork()
+            """)
+        assert rule_ids(findings) == ["PAR001"]
+
+    def test_positive_get_context_default(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            import multiprocessing
+            def context():
+                return multiprocessing.get_context()
+            """)
+        assert rule_ids(findings) == ["PAR001"]
+
+    def test_positive_fork_start_method(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            from multiprocessing import get_context
+            def context():
+                return get_context("fork")
+            """)
+        assert rule_ids(findings) == ["PAR001"]
+
+    def test_negative_spawn_context(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            from multiprocessing import get_context
+            def context():
+                return get_context("spawn")
+            """)
+        assert findings == []
+
+    def test_positive_executor_without_mp_context(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+            def pool(jobs):
+                return ProcessPoolExecutor(max_workers=jobs)
+            """)
+        assert rule_ids(findings) == ["PAR001"]
+
+    def test_negative_executor_with_mp_context(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            from concurrent.futures import ProcessPoolExecutor
+            from multiprocessing import get_context
+            def pool(jobs):
+                return ProcessPoolExecutor(
+                    max_workers=jobs, mp_context=get_context("spawn"))
+            """)
+        assert findings == []
+
+    def test_positive_module_mutable_in_sweep(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            _CACHE = {}
+            def lookup(key):
+                return _CACHE.get(key)
+            """, name="sweep/registry.py")
+        assert rule_ids(findings) == ["PAR001"]
+
+    def test_negative_module_mutable_outside_sweep(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            _CACHE = {}
+            def lookup(key):
+                return _CACHE.get(key)
+            """, name="harness/registry.py")
+        assert findings == []
+
+    def test_negative_dunder_assignment_in_sweep(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            __all__ = ["lookup"]
+            def lookup(key):
+                return key
+            """, name="sweep/api.py")
+        assert findings == []
+
+    def test_negative_immutable_module_constant_in_sweep(self, tmp_path):
+        findings = run_on(tmp_path, """\
+            SCALES = ("quick", "full")
+            LIMIT = 16
+            def scales():
+                return SCALES
+            """, name="sweep/config.py")
+        assert findings == []
+
+    def test_sweep_package_itself_is_clean(self):
+        findings, files = analyze_paths([str(SRC / "sweep")])
+        assert files >= 5
+        assert [f for f in findings if f.rule_id == "PAR001"] == []
+
+
 class TestEngine:
     def test_syntax_error_reported_not_raised(self, tmp_path):
         findings = run_on(tmp_path, "def broken(:\n")

@@ -34,6 +34,39 @@ class TestExperimentCommand:
             main(["experiment", "figure42"])
 
 
+class TestSweepCommand:
+    def test_list_prints_sweeps(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure8" in out
+        assert "nemesis" in out
+        assert "selftest" not in out  # hidden test-only sweep
+
+    def test_no_name_is_a_usage_error(self):
+        assert main(["sweep"]) == 2
+
+    def test_selftest_sweep_cold_then_warm_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold_out = tmp_path / "cold.json"
+        warm_out = tmp_path / "warm.json"
+        assert main(["sweep", "selftest", "-j", "1",
+                     "--cache-dir", cache_dir,
+                     "--out", str(cold_out)]) == 0
+        assert "Sweep selftest" in capsys.readouterr().out
+        assert main(["sweep", "selftest", "-j", "1",
+                     "--cache-dir", cache_dir,
+                     "--out", str(warm_out),
+                     "--min-hit-rate", "0.9"]) == 0
+        assert cold_out.read_bytes() == warm_out.read_bytes()
+
+    def test_min_hit_rate_fails_without_cache(self, tmp_path):
+        assert main(["sweep", "selftest", "-j", "1", "--no-cache",
+                     "--min-hit-rate", "0.9"]) == 1
+
+    def test_unknown_sweep_is_a_usage_error(self):
+        assert main(["sweep", "figure99", "--no-cache"]) == 2
+
+
 class TestWorkloadCommands:
     def test_retwis_run(self, capsys):
         assert main(["retwis", "--clients", "2", "--keys", "100",

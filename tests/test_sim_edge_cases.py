@@ -332,3 +332,165 @@ class TestRunLoopEdgeCases:
         sim.step()
         assert sim.now == 1.0
         assert sim.events_processed == 1
+
+
+class TestKernelFastPathGuards:
+    """Pin behaviours the batched/cached fast paths could regress.
+
+    ``run``/``run_until_event`` drain same-timestamp events in an inner
+    batch loop, single-callback events take a cheaper dispatch branch,
+    ``Process`` caches its resume callback as a bound method, and
+    ``Store.put``/``get`` inline the immediate-success case. Each test
+    here fails if one of those shortcuts changes observable behaviour.
+    """
+
+    def test_same_timestamp_cascade_drains_within_run_until(self):
+        # Events that keep scheduling more work at the *same* timestamp
+        # must all fire inside the batch-drain loop before time moves.
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append((sim.now, depth))
+            if depth < 5:
+                nxt = sim.event()
+                nxt.callbacks.append(lambda _ev, d=depth + 1: chain(d))
+                sim.schedule(nxt, 0.0)
+
+        root = sim.event()
+        root.callbacks.append(lambda _ev: chain(0))
+        sim.schedule(root, 1.0)
+        sim.run(until=1.0)
+        assert [d for _, d in fired] == [0, 1, 2, 3, 4, 5]
+        assert all(t == 1.0 for t, _ in fired)
+        assert sim.now == 1.0
+
+    def test_until_boundary_does_not_leak_later_events(self):
+        # The batch drain compares timestamps, not "close enough":
+        # events strictly after `until` stay queued.
+        sim = Simulator()
+        seen = []
+        early = sim.event()
+        early.callbacks.append(lambda _ev: seen.append("early"))
+        late = sim.event()
+        late.callbacks.append(lambda _ev: seen.append("late"))
+        sim.schedule(early, 1.0)
+        sim.schedule(late, 1.0 + 1e-9)
+        sim.run(until=1.0)
+        assert seen == ["early"]
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_multi_callback_event_fires_all_in_order(self):
+        # The single-callback fast dispatch must not apply to (or drop)
+        # the multi-callback case.
+        sim = Simulator()
+        seen = []
+        event = sim.event()
+        for tag in ("a", "b", "c"):
+            event.callbacks.append(
+                lambda _ev, tag=tag: seen.append(tag))
+        sim.schedule(event, 0.5)
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_callback_added_during_dispatch_is_not_fired(self):
+        # Dispatch snapshots the callback list (clear-then-call): a
+        # callback appended while the event fires belongs to nobody.
+        sim = Simulator()
+        seen = []
+        event = sim.event()
+
+        def first(_ev):
+            seen.append("first")
+            event.callbacks.append(lambda _ev: seen.append("late"))
+
+        event.callbacks.append(first)
+        sim.schedule(event, 0.0)
+        sim.run()
+        assert seen == ["first"]
+
+    def test_run_until_event_with_limit_triggers_exactly_at_limit(self):
+        # The limit-set loop admits events at exactly t == limit.
+        sim = Simulator()
+
+        def worker():
+            yield sim.timeout(10.0)
+            return "done"
+
+        proc = sim.process(worker())
+        assert sim.run_until_event(proc, limit=10.0) == "done"
+        assert sim.now == 10.0
+
+    def test_interrupt_removes_cached_resume_callback(self):
+        # Process caches its resume bound method; interrupt() must
+        # detach exactly that callback from the waited-on event, so the
+        # original wakeup never double-resumes the generator.
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(5.0)
+                log.append("timeout fired")
+            except Interrupt as exc:
+                log.append(f"interrupted: {exc.cause}")
+                yield sim.timeout(10.0)
+                log.append("slept after interrupt")
+
+        proc = sim.process(sleeper())
+
+        def nemesis():
+            yield sim.timeout(1.0)
+            proc.interrupt("bump")
+
+        sim.process(nemesis())
+        sim.run()
+        # The 5s timeout still fires at t=5 but must find no callback;
+        # the process resumes only from its post-interrupt timeout.
+        assert log == ["interrupted: bump", "slept after interrupt"]
+        assert sim.now == 11.0
+
+    def test_store_put_handoff_triggers_both_events(self):
+        # Store.put inlines the getter-waiting branch; both the getter's
+        # event and the put event must still fire, getter first.
+        sim = Simulator()
+        store = Store(sim)
+        order = []
+
+        def consumer():
+            item = yield store.get()
+            order.append(("got", item))
+
+        def producer():
+            yield sim.timeout(0.1)
+            yield store.put("x")
+            order.append(("put-ack", "x"))
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert order == [("got", "x"), ("put-ack", "x")]
+
+    def test_store_get_from_buffer_admits_waiting_putter(self):
+        # Store.get inlines the items-available branch; it must still
+        # admit a capacity-blocked putter.
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        order = []
+
+        def producer():
+            yield store.put("first")
+            order.append("first in")
+            yield store.put("second")
+            order.append("second in")
+
+        def consumer():
+            yield sim.timeout(1.0)
+            item = yield store.get()
+            order.append(f"took {item}")
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert order == ["first in", "took first", "second in"]

@@ -1,0 +1,205 @@
+"""Tier-1 tests for the deterministic parallel sweep runner.
+
+The contract under test: for any ``-j`` value and any cache state, a
+sweep's merged report is **byte-identical** to the serial run — workers
+race only for completion order, which the canonical-order merge
+discards. The cheap hidden ``selftest`` sweep keeps the parallel
+determinism tests fast; one real (tiny) figure-1 sweep pins merge
+equality against the serial harness driver.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import run_figure1
+from repro.sweep import (
+    CellCache,
+    SweepWorkerError,
+    code_fingerprint,
+    default_jobs,
+    run_cell,
+    run_sweep,
+    sweep_cells,
+    sweep_experiment,
+    sweep_names,
+)
+
+# ---------------------------------------------------------------------------
+# Cell enumeration
+# ---------------------------------------------------------------------------
+
+
+class TestCellEnumeration:
+    def test_canonical_order_and_indices(self):
+        cells = sweep_cells("figure8", scale="quick")
+        assert [cell.index for cell in cells] == list(range(len(cells)))
+        # Canonical order is the serial driver's loop nesting:
+        # backend-major, then local-validation, then client count.
+        assert cells[0].label.startswith("dram/LV")
+        assert all(cell.sweep == "figure8" for cell in cells)
+
+    def test_full_grid_is_superset_scale(self):
+        quick = sweep_cells("figure7", scale="quick")
+        full = sweep_cells("figure7", scale="full")
+        assert len(full) > len(quick)
+
+    def test_unknown_sweep_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep"):
+            sweep_cells("figure99")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            sweep_cells("figure8", scale="medium")
+
+    def test_unknown_override_rejected(self):
+        # Typos must not silently shrink a sweep.
+        with pytest.raises(ValueError, match="unknown sweep override"):
+            sweep_cells("figure8", client_count=(8,))
+
+    def test_sweep_names_hides_selftest(self):
+        names = sweep_names()
+        assert "selftest" not in names
+        assert "figure8" in names
+        assert "selftest" in sweep_names(include_hidden=True)
+
+    def test_cells_are_picklable_and_hashable(self):
+        import pickle
+
+        cells = sweep_cells("selftest")
+        assert len({hash(cell) for cell in cells}) == len(cells)
+        clone = pickle.loads(pickle.dumps(cells[0]))
+        assert clone == cells[0]
+
+
+# ---------------------------------------------------------------------------
+# Parallel determinism: byte-identical reports across -j values
+# ---------------------------------------------------------------------------
+
+
+class TestParallelDeterminism:
+    def test_report_identical_across_j1_j2_j4(self):
+        reports = {}
+        for jobs in (1, 2, 4):
+            result = run_sweep("selftest", jobs=jobs)
+            assert result.jobs == jobs
+            reports[jobs] = result.report_json()
+        assert reports[1] == reports[2]
+        assert reports[1] == reports[4]
+
+    def test_render_identical_serial_vs_parallel(self):
+        serial = run_sweep("selftest", jobs=1).render()
+        parallel = run_sweep("selftest", jobs=2).render()
+        assert serial == parallel
+
+    def test_results_arrive_in_canonical_order(self):
+        result = run_sweep("selftest", jobs=2)
+        assert [r.index for r in result.results] == [0, 1, 2, 3]
+
+    def test_default_jobs_is_at_least_one(self):
+        assert default_jobs() >= 1
+
+
+class TestMergeMatchesSerialDriver:
+    def test_figure1_sweep_equals_driver(self):
+        grid = dict(write_latencies=(0.2e-6,), skews=(0.0, 1e-6),
+                    rounds=10, seed=3)
+        merged = sweep_experiment("figure1", jobs=1, **grid)
+        serial = run_figure1(**grid)
+        assert merged.render() == serial.render()
+        assert merged.rows == serial.rows
+        assert merged.series == serial.series
+
+
+# ---------------------------------------------------------------------------
+# Cache behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestCellCache:
+    def test_cold_then_warm_accounting(self, tmp_path):
+        cache = CellCache(str(tmp_path / "cache"))
+        cold = run_sweep("selftest", cache=cache)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(cold.results)
+        warm = run_sweep("selftest", cache=cache)
+        assert warm.cache_hits == len(warm.results)
+        assert warm.cache_misses == 0
+        assert warm.hit_rate == 1.0
+
+    def test_cached_report_is_byte_identical(self, tmp_path):
+        cache = CellCache(str(tmp_path / "cache"))
+        cold = run_sweep("selftest", cache=cache)
+        warm = run_sweep("selftest", cache=cache)
+        assert cold.report_json() == warm.report_json()
+
+    def test_config_change_misses(self, tmp_path):
+        cache = CellCache(str(tmp_path / "cache"))
+        run_sweep("selftest", cache=cache)
+        changed = run_sweep("selftest", cache=cache,
+                            overrides={"seed": 2})
+        assert changed.cache_hits == 0
+
+    def test_code_fingerprint_change_invalidates(self, tmp_path):
+        root = str(tmp_path / "cache")
+        run_sweep("selftest", cache=CellCache(root))
+        stale = CellCache(root, code_fp="f" * 64)
+        rerun = run_sweep("selftest", cache=stale)
+        assert rerun.cache_hits == 0
+        assert rerun.cache_misses == len(rerun.results)
+
+    def test_refresh_recomputes_and_overwrites(self, tmp_path):
+        cache = CellCache(str(tmp_path / "cache"))
+        run_sweep("selftest", cache=cache)
+        refreshed = run_sweep("selftest", cache=cache, refresh=True)
+        assert refreshed.cache_hits == 0
+        # The overwritten entries still serve the next run.
+        warm = run_sweep("selftest", cache=cache)
+        assert warm.cache_hits == len(warm.results)
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path):
+        cache = CellCache(str(tmp_path / "cache"))
+        cell = sweep_cells("selftest")[0]
+        cache.put(cell, run_cell(cell))
+        path = cache._path_for(cache.key_for(cell))
+        path.write_text("{ torn json")
+        assert cache.get(cell) is None
+        assert cache.misses == 1
+
+    def test_tampered_payload_fails_fingerprint_check(self, tmp_path):
+        cache = CellCache(str(tmp_path / "cache"))
+        cell = sweep_cells("selftest")[0]
+        cache.put(cell, run_cell(cell))
+        path = cache._path_for(cache.key_for(cell))
+        entry = json.loads(path.read_text())
+        entry["payload"]["rows"][0][1] = 999
+        path.write_text(json.dumps(entry))
+        assert cache.get(cell) is None
+
+    def test_code_fingerprint_is_stable_hex(self):
+        first = code_fingerprint()
+        assert first == code_fingerprint()
+        assert len(first) == 64
+        int(first, 16)
+
+
+# ---------------------------------------------------------------------------
+# Failure surfacing
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerFailures:
+    def test_serial_failure_names_the_cell(self):
+        with pytest.raises(SweepWorkerError, match=r"selftest#2"):
+            run_sweep("selftest", jobs=1,
+                      overrides={"fail_at": 2})
+
+    def test_parallel_failure_names_the_cell(self):
+        with pytest.raises(SweepWorkerError, match=r"selftest#2"):
+            run_sweep("selftest", jobs=2,
+                      overrides={"fail_at": 2})
+
+    def test_failure_message_carries_original_error(self):
+        with pytest.raises(SweepWorkerError,
+                           match="ValueError.*fail_at"):
+            run_sweep("selftest", overrides={"fail_at": 0})
